@@ -1,0 +1,101 @@
+// Command gatherbench runs the reproduction's experiment suite (DESIGN.md
+// §4) and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	gatherbench                  # full suite, markdown to stdout
+//	gatherbench -experiment E1   # one experiment
+//	gatherbench -quick -csv      # fast smoke run, CSV output
+//	gatherbench -out results.md  # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridgather/internal/experiments"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 5, "trials per randomized configuration")
+		sizes  = flag.String("sizes", "128,256,512,1024,2048", "comma-separated target sizes")
+		quick  = flag.Bool("quick", false, "small sizes and trials")
+		csv    = flag.Bool("csv", false, "emit CSV instead of markdown")
+		out    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick}
+	for _, tok := range strings.Split(*sizes, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err == nil && v > 0 {
+			params.Sizes = append(params.Sizes, v)
+		}
+	}
+
+	outs, err := run(*which, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatherbench:", err)
+		os.Exit(1)
+	}
+
+	var b strings.Builder
+	for _, o := range outs {
+		fmt.Fprintf(&b, "## %s — %s\n\n", o.ID, o.Title)
+		for _, tb := range o.Tables {
+			if *csv {
+				b.WriteString(tb.CSV())
+			} else {
+				b.WriteString(tb.Markdown())
+			}
+			b.WriteString("\n")
+		}
+		for _, note := range o.Notes {
+			fmt.Fprintf(&b, "- %s\n", note)
+		}
+		b.WriteString("\n")
+	}
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gatherbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func run(which string, params experiments.Params) ([]experiments.Outcome, error) {
+	if which == "all" {
+		return experiments.All(params)
+	}
+	table := map[string]func(experiments.Params) (experiments.Outcome, error){
+		"E1":    experiments.E1Theorem1,
+		"E2":    experiments.E2E3Lemmas,
+		"E3":    experiments.E2E3Lemmas,
+		"E2/E3": experiments.E2E3Lemmas,
+		"E4":    experiments.E4RunHealth,
+		"E8":    experiments.E8Pipelining,
+		"E9":    experiments.E9MergelessStructure,
+		"E10":   experiments.E10AblationRunPeriod,
+		"E11":   experiments.E11AblationMergeLen,
+		"E12":   experiments.E12Baselines,
+		"E13":   experiments.E13AblationView,
+	}
+	f, ok := table[strings.ToUpper(which)]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (E5–E7 are scenario tests in internal/core)", which)
+	}
+	o, err := f(params)
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.Outcome{o}, nil
+}

@@ -1,0 +1,147 @@
+// Command gathersim runs one gathering simulation and prints its summary
+// (optionally with ASCII frames or a JSON result).
+//
+// Usage:
+//
+//	gathersim -shape spiral -size 512
+//	gathersim -shape walk -size 200 -seed 7 -ascii 25
+//	gathersim -in chain.json -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/generate"
+	"gridgather/internal/sim"
+	"gridgather/internal/trace"
+)
+
+func main() {
+	var (
+		shape     = flag.String("shape", "spiral", "workload family: "+strings.Join(generate.Names(), ", "))
+		size      = flag.Int("size", 256, "approximate number of robots")
+		seed      = flag.Int64("seed", 1, "random seed for randomized families")
+		inFile    = flag.String("in", "", "read the initial chain from a JSON file instead of generating")
+		asciiEach = flag.Int("ascii", 0, "print an ASCII frame every N rounds (0 = off)")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON")
+		viewLen   = flag.Int("view", core.DefaultViewingPathLength, "viewing path length V")
+		period    = flag.Int("period", core.DefaultRunPeriod, "run start period L")
+		mergeLen  = flag.Int("mergelen", core.DefaultMaxMergeLen, "maximum merge pattern length")
+		noRuns    = flag.Bool("merge-only", false, "disable runs (ablation)")
+		seqRuns   = flag.Bool("sequential", false, "disable pipelining (ablation)")
+		check     = flag.Bool("check", false, "enable per-round invariant checking")
+		maxRounds = flag.Int("max-rounds", 0, "override the watchdog limit (0 = automatic)")
+	)
+	flag.Parse()
+
+	ch, err := loadChain(*inFile, *shape, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := sim.Options{
+		Config: core.Config{
+			ViewingPathLength: *viewLen,
+			RunPeriod:         *period,
+			MaxMergeLen:       *mergeLen,
+			DisableRunStarts:  *noRuns,
+			SequentialRuns:    *seqRuns,
+		},
+		CheckInvariants: *check,
+		MaxRounds:       *maxRounds,
+	}
+	var rec *trace.Recorder
+	if *asciiEach > 0 {
+		rec = trace.NewRecorder()
+		rec.Every = *asciiEach
+		rec.InitialFrame(ch)
+		opts.Observer = rec
+	}
+
+	n, diam := ch.Len(), ch.Diameter()
+	res, err := sim.Gather(ch, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if rec != nil {
+		fmt.Print(trace.RenderAll(rec.Frames()))
+		fmt.Println()
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("gathered %d robots in %d rounds (%.3f rounds/robot, diameter %d)\n",
+		n, res.Rounds, res.RoundsPerRobot(), diam)
+	fmt.Printf("merges: %d (in %d rounds, longest gap %d)\n",
+		res.TotalMerges, res.TotalMergeRounds, res.LongestMergeGap)
+	fmt.Printf("runs: %d started (%v), max %d active\n",
+		res.TotalRunsStarted, kindSummary(res), res.MaxActiveRuns)
+	fmt.Printf("run ends: %v\n", endSummary(res))
+	fmt.Printf("pairs: %d started, %d good, %d progress (%d merged, %d cut short), lemma1 %d/%d violations\n",
+		res.Pairs.PairsStarted, res.Pairs.GoodPairs, res.Pairs.ProgressPairs,
+		res.Pairs.ProgressMerged, res.Pairs.ProgressUnresolved,
+		res.Pairs.Lemma1Violations, res.Pairs.Lemma1Windows)
+	if res.Anomalies.Total() > 0 {
+		fmt.Printf("anomalies: %+v\n", res.Anomalies)
+	}
+}
+
+func loadChain(inFile, shape string, size int, seed int64) (*chain.Chain, error) {
+	if inFile != "" {
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		var ch chain.Chain
+		if err := json.Unmarshal(data, &ch); err != nil {
+			return nil, fmt.Errorf("decoding %s: %w", inFile, err)
+		}
+		return &ch, nil
+	}
+	return generate.Named(shape, size, rand.New(rand.NewSource(seed)))
+}
+
+func kindSummary(res sim.Result) string {
+	var parts []string
+	for kind, n := range res.StartsByKind {
+		parts = append(parts, fmt.Sprintf("%v: %d", kind, n))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func endSummary(res sim.Result) string {
+	var parts []string
+	for _, reason := range []core.TerminateReason{
+		core.TermMerge, core.TermEndpoint, core.TermSequentRun,
+		core.TermPassTargetGone, core.TermOpTargetGone, core.TermHostRemoved, core.TermStuck,
+	} {
+		if n := res.EndsByReason[reason]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%v: %d", reason, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gathersim:", err)
+	os.Exit(1)
+}

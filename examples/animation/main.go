@@ -1,0 +1,75 @@
+// Animation: render a gathering run as ASCII frames using only the public
+// API (positions exposed by the observer), showing how downstream tools
+// can visualise the swarm.
+//
+//	go run ./examples/animation
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	gridgather "gridgather"
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+)
+
+// asciiFrame renders robot positions within their bounding box.
+func asciiFrame(positions []gridgather.Vec) string {
+	if len(positions) == 0 {
+		return "(empty)\n"
+	}
+	minX, maxX := positions[0].X, positions[0].X
+	minY, maxY := positions[0].Y, positions[0].Y
+	for _, p := range positions {
+		minX, maxX = min(minX, p.X), max(maxX, p.X)
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	count := map[gridgather.Vec]int{}
+	for _, p := range positions {
+		count[p]++
+	}
+	var b strings.Builder
+	for y := maxY; y >= minY; y-- {
+		for x := minX; x <= maxX; x++ {
+			switch c := count[gridgather.V(x, y)]; {
+			case c == 0:
+				b.WriteByte('.')
+			case c == 1:
+				b.WriteByte('#')
+			case c < 10:
+				b.WriteByte(byte('0' + c))
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type animator struct {
+	every int
+}
+
+func (a *animator) OnRound(ch *chain.Chain, rep core.RoundReport) {
+	if rep.Round%a.every != 0 && !rep.Gathered {
+		return
+	}
+	fmt.Printf("round %d (n=%d, %d active runs):\n", rep.Round, rep.ChainLen, rep.ActiveRuns)
+	fmt.Println(asciiFrame(ch.Positions()))
+}
+
+func main() {
+	ch, err := gridgather.Comb(4, 6, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial configuration (n=%d):\n%s\n", ch.Len(), asciiFrame(ch.Positions()))
+	res, err := gridgather.Gather(ch, gridgather.Options{Observer: &animator{every: 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gathered in %d rounds\n", res.Rounds)
+}

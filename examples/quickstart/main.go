@@ -1,0 +1,49 @@
+// Quickstart: build a closed chain, gather it, print the summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gridgather "gridgather"
+)
+
+func main() {
+	// A hand-written closed chain: a 5x2 rectangle loop of 14 robots.
+	positions := []gridgather.Vec{
+		gridgather.V(0, 0), gridgather.V(1, 0), gridgather.V(2, 0),
+		gridgather.V(3, 0), gridgather.V(4, 0), gridgather.V(5, 0),
+		gridgather.V(5, 1), gridgather.V(5, 2),
+		gridgather.V(4, 2), gridgather.V(3, 2), gridgather.V(2, 2),
+		gridgather.V(1, 2), gridgather.V(0, 2),
+		gridgather.V(0, 1),
+	}
+	small, err := gridgather.NewChain(positions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := gridgather.Gather(small, gridgather.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hand-written loop: %d robots gathered in %d rounds\n",
+		res.InitialLen, res.Rounds)
+
+	// Generated workloads are the usual entry point: here the classic
+	// worst case, a spiral of 8 windings (~1000 robots).
+	ch, err := gridgather.Spiral(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, diameter := ch.Len(), ch.Diameter()
+	res, err = gridgather.Gather(ch, gridgather.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spiral: n=%d robots, diameter %d\n", n, diameter)
+	fmt.Printf("gathered in %d rounds (%.3f rounds/robot)\n", res.Rounds, res.RoundsPerRobot())
+	fmt.Printf("merges performed: %d, runs started: %d (max %d active)\n",
+		res.TotalMerges, res.TotalRunsStarted, res.MaxActiveRuns)
+}

@@ -1,0 +1,147 @@
+// Package gridgather is a simulator and reference implementation of
+// "Gathering a Closed Chain of Robots on a Grid" (Abshoff, Cord-Landwehr,
+// Fischer, Jung, Meyer auf der Heide; IPDPS 2016, arXiv:1510.05454): a
+// fully local, linear-time gathering strategy for a closed chain of n
+// indistinguishable robots on the integer grid in the FSYNC model.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/core — the paper's algorithm: merge operations, quasi
+//     lines, runner-driven reshapement, run passing, pipelining,
+//     termination conditions;
+//   - internal/chain, internal/grid, internal/view — the substrate: the
+//     closed-chain data structure, grid geometry, and the restricted
+//     local views (viewing path length 11);
+//   - internal/sim — the synchronous engine with invariant checking,
+//     watchdog and instrumentation;
+//   - internal/generate — workload generators (spirals, combs,
+//     staircases, random polyominoes, random closed walks, …);
+//   - internal/baseline — the comparison strategies of the experiments.
+//
+// Quickstart:
+//
+//	ch, err := gridgather.Spiral(8)
+//	if err != nil { ... }
+//	res, err := gridgather.Gather(ch, gridgather.Options{})
+//	fmt.Printf("gathered %d robots in %d rounds\n", res.InitialLen, res.Rounds)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced results.
+package gridgather
+
+import (
+	"math/rand"
+
+	"gridgather/internal/baseline"
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/generate"
+	"gridgather/internal/grid"
+	"gridgather/internal/sim"
+)
+
+// Core re-exports. Aliases keep the internal packages as the single source
+// of truth while giving external importers a usable public API.
+type (
+	// Vec is a grid point or displacement.
+	Vec = grid.Vec
+	// Box is an axis-aligned bounding box.
+	Box = grid.Box
+	// Chain is a closed chain of robots.
+	Chain = chain.Chain
+	// Robot is one chain member.
+	Robot = chain.Robot
+	// Config holds the algorithm parameters (viewing path length, run
+	// period, merge detection length).
+	Config = core.Config
+	// Options configures a simulation run.
+	Options = sim.Options
+	// Result aggregates a finished simulation.
+	Result = sim.Result
+	// Engine drives a simulation round by round.
+	Engine = sim.Engine
+	// Observer receives the chain state after every round.
+	Observer = sim.Observer
+	// PairStats is the run-pair accounting (Lemma 1/2 instrumentation).
+	PairStats = sim.PairStats
+)
+
+// V constructs a grid vector.
+func V(x, y int) Vec { return grid.V(x, y) }
+
+// NewChain builds a closed chain from positions in chain order, validating
+// the paper's initial-configuration requirements.
+func NewChain(positions []Vec) (*Chain, error) { return chain.New(positions) }
+
+// DefaultConfig returns the paper's parameter set (V=11, L=13).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Gather simulates the chain until it fits a 2x2 square and returns the
+// result. The chain is owned by the simulation afterwards.
+func Gather(ch *Chain, opts Options) (Result, error) { return sim.Gather(ch, opts) }
+
+// NewEngine creates a step-by-step simulation engine.
+func NewEngine(ch *Chain, opts Options) (*Engine, error) { return sim.NewEngine(ch, opts) }
+
+// Workload generators (see internal/generate for the full set).
+
+// Rectangle returns the boundary chain of a w x h cell rectangle.
+func Rectangle(w, h int) (*Chain, error) { return generate.Rectangle(w, h) }
+
+// Spiral returns a rectangular spiral corridor boundary with the given
+// number of windings — the classic worst case.
+func Spiral(windings int) (*Chain, error) { return generate.Spiral(windings) }
+
+// Staircase returns a staircase polyomino boundary.
+func Staircase(steps, run int) (*Chain, error) { return generate.Staircase(steps, run) }
+
+// Comb returns a comb polyomino boundary (nested quasi lines).
+func Comb(teeth, toothLen, gap int) (*Chain, error) { return generate.Comb(teeth, toothLen, gap) }
+
+// RandomClosedWalk returns a random (possibly self-crossing) closed
+// lattice walk with n robots.
+func RandomClosedWalk(n int, rng *rand.Rand) (*Chain, error) {
+	return generate.RandomClosedWalk(n, rng)
+}
+
+// RandomPolyomino returns the boundary of a randomly grown polyomino.
+func RandomPolyomino(cells int, rng *rand.Rand) (*Chain, error) {
+	return generate.RandomPolyomino(cells, rng)
+}
+
+// Shape builds one of the named workload families ("rectangle",
+// "flatring", "histogram", "staircase", "comb", "spiral", "polyomino",
+// "walk", "doubled", "serpentine", "lshape") at roughly the given size.
+func Shape(name string, size int, rng *rand.Rand) (*Chain, error) {
+	return generate.Named(name, size, rng)
+}
+
+// ShapeNames lists the families accepted by Shape.
+func ShapeNames() []string { return generate.Names() }
+
+// Baseline strategies (experiment E12).
+
+// MergeOnlyOptions disables the runner machinery (ablation).
+func MergeOnlyOptions() Options { return baseline.MergeOnlyOptions() }
+
+// SequentialRunsOptions disables pipelining (ablation).
+func SequentialRunsOptions() Options { return baseline.SequentialRunsOptions() }
+
+// Contraction is the global-vision comparison strategy; ContractionResult
+// its summary.
+type (
+	Contraction       = baseline.Contraction
+	ContractionResult = baseline.ContractionResult
+	// ManhattanHopper shortens an open chain between fixed endpoints
+	// (the [KM09] reconstruction); HopperResult its summary.
+	ManhattanHopper = baseline.ManhattanHopper
+	HopperResult    = baseline.HopperResult
+)
+
+// NewContraction wraps a chain with the global-vision contraction strategy.
+func NewContraction(ch *Chain) *Contraction { return baseline.NewContraction(ch) }
+
+// NewManhattanHopper prepares the open-chain shortening baseline.
+func NewManhattanHopper(pts []Vec) (*ManhattanHopper, error) {
+	return baseline.NewManhattanHopper(pts)
+}

@@ -1,0 +1,98 @@
+package gridgather_test
+
+import (
+	"math/rand"
+	"testing"
+
+	gridgather "gridgather"
+)
+
+// TestFacadeQuickstart exercises the documented public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	ch, err := gridgather.Spiral(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gridgather.Gather(ch, gridgather.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Gathered {
+		t.Fatal("quickstart did not gather")
+	}
+	if res.Rounds <= 0 || res.InitialLen <= 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+}
+
+func TestFacadeNewChain(t *testing.T) {
+	ch, err := gridgather.NewChain([]gridgather.Vec{
+		gridgather.V(0, 0), gridgather.V(1, 0), gridgather.V(1, 1), gridgather.V(0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Gathered() {
+		t.Error("unit square is gathered")
+	}
+	if _, err := gridgather.NewChain([]gridgather.Vec{gridgather.V(0, 0)}); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestFacadeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range gridgather.ShapeNames() {
+		ch, err := gridgather.Shape(name, 64, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ch.Len() < 4 {
+			t.Errorf("%s: trivial chain", name)
+		}
+	}
+}
+
+func TestFacadeEngineStepping(t *testing.T) {
+	ch, err := gridgather.Rectangle(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gridgather.NewEngine(ch, gridgather.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		cont, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cont {
+			break
+		}
+		steps++
+		if steps > 10000 {
+			t.Fatal("engine never finished")
+		}
+	}
+	if !eng.Chain().Gathered() {
+		t.Error("engine finished without gathering")
+	}
+}
+
+func TestFacadeConfigDefaults(t *testing.T) {
+	cfg := gridgather.DefaultConfig()
+	if cfg.ViewingPathLength != 11 || cfg.RunPeriod != 13 {
+		t.Errorf("paper constants wrong: %+v", cfg)
+	}
+}
+
+func TestFacadeAblationOptions(t *testing.T) {
+	if !gridgather.MergeOnlyOptions().Config.DisableRunStarts {
+		t.Error("merge-only must disable run starts")
+	}
+	if !gridgather.SequentialRunsOptions().Config.SequentialRuns {
+		t.Error("sequential option wrong")
+	}
+}

@@ -1,0 +1,259 @@
+// Package analysis provides the statistics used by the experiment harness:
+// summary statistics over samples, least-squares linear fits (the evidence
+// for Theorem 1's linear bound), and plain-text/markdown table rendering
+// for cmd/gatherbench.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrNoData reports an operation on an empty sample.
+var ErrNoData = errors.New("analysis: no data")
+
+// Series is an append-only sample of float64 values.
+type Series struct {
+	vals []float64
+}
+
+// Add appends values to the series.
+func (s *Series) Add(vs ...float64) { s.vals = append(s.vals, vs...) }
+
+// AddInt appends integer values.
+func (s *Series) AddInt(vs ...int) {
+	for _, v := range vs {
+		s.vals = append(s.vals, float64(v))
+	}
+}
+
+// Len returns the sample size.
+func (s *Series) Len() int { return len(s.vals) }
+
+// Values returns a copy of the sample.
+func (s *Series) Values() []float64 {
+	cp := make([]float64, len(s.vals))
+	copy(cp, s.vals)
+	return cp
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 values).
+func (s *Series) Std() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Min returns the smallest sample value.
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample value.
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using nearest-rank
+// on the sorted sample.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := s.Values()
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with goodness R2.
+type Fit struct {
+	Slope, Intercept, R2 float64
+	N                    int
+}
+
+// LinearFit fits a line through the (x, y) samples.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("analysis: mismatched sample lengths %d and %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{}, ErrNoData
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("analysis: degenerate x sample")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx, N: n}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// String renders the fit compactly.
+func (f Fit) String() string {
+	return fmt.Sprintf("y = %.4f*x %+.2f (R²=%.4f, n=%d)", f.Slope, f.Intercept, f.R2, f.N)
+}
+
+// Table renders rows of experiment output as markdown (and readable plain
+// text). Columns are right-aligned except the first.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells, one format per cell value.
+func (t *Table) AddRowf(cells ...any) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			strs[i] = v
+		case float64:
+			strs[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			strs[i] = fmt.Sprintf("%d", v)
+		default:
+			strs[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(strs...)
+}
+
+// Markdown renders the table as a markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int, left bool) string {
+		for len(s) < w {
+			if left {
+				s += " "
+			} else {
+				s = " " + s
+			}
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			b.WriteString(" " + pad(c, widths[i], i == 0) + " |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for i := range t.Header {
+		b.WriteString(strings.Repeat("-", widths[i]+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting; callers
+// must not put commas in cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

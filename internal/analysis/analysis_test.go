@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 || s.Len() != 0 {
+		t.Error("empty series must be zero-valued")
+	}
+	s.AddInt(2, 4, 6, 8)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample std of 2,4,6,8 is sqrt(20/3).
+	want := math.Sqrt(20.0 / 3.0)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	var s Series
+	s.Add(5, 1, 3, 2, 4)
+	if s.Percentile(0) != 1 || s.Percentile(100) != 5 {
+		t.Error("extreme percentiles wrong")
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := s.Percentile(90); got != 5 {
+		t.Errorf("p90 = %v", got)
+	}
+}
+
+func TestSeriesValuesCopy(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	v := s.Values()
+	v[0] = 99
+	if s.Values()[0] == 99 {
+		t.Error("Values must copy")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // ~2x
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope < 1.8 || fit.Slope > 2.2 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLinearFitQuickR2Bounds(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		allSameX := true
+		for i, v := range raw {
+			xs[i] = float64(i)
+			ys[i] = float64(v)
+			if xs[i] != xs[0] {
+				allSameX = false
+			}
+		}
+		if allSameX {
+			return true
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return true
+		}
+		return fit.R2 >= -1e-9 && fit.R2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("shape", "n", "rounds")
+	tb.AddRowf("square", 100, 151)
+	tb.AddRowf("spiral", 480, 40)
+	md := tb.Markdown()
+	if !strings.Contains(md, "| shape ") || !strings.Contains(md, "square") {
+		t.Errorf("markdown missing content:\n%s", md)
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+	// All lines align to the same width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Errorf("ragged table:\n%s", md)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2")
+	tb.AddRow("3") // short row padded
+	csv := tb.CSV()
+	want := "a,b\n1,2\n3,\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableAddRowfTypes(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRowf("x", 1.23456, true)
+	if tb.Rows[0][1] != "1.235" {
+		t.Errorf("float formatting: %q", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "true" {
+		t.Errorf("default formatting: %q", tb.Rows[0][2])
+	}
+}

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"gridgather/internal/core"
+	"gridgather/internal/sim"
+)
+
+// Ablation configurations of the paper's own algorithm, used by experiment
+// E12 and the ablation benches. Each returns sim.Options ready for
+// sim.Gather; callers may further tune watchdog limits.
+
+// PaperOptions is the unmodified algorithm with the paper's constants.
+func PaperOptions() sim.Options {
+	return sim.Options{Config: core.DefaultConfig()}
+}
+
+// MergeOnlyOptions disables runs entirely: only the merge operation of
+// Fig 2/3 acts. On chains whose straight segments all exceed the merge
+// detection length this live-locks — the experiment demonstrating that the
+// paper's runner machinery is necessary, not an optimisation.
+func MergeOnlyOptions() sim.Options {
+	cfg := core.DefaultConfig()
+	cfg.DisableRunStarts = true
+	return sim.Options{Config: cfg}
+}
+
+// SequentialRunsOptions allows at most one run generation at a time (new
+// starts are suppressed while any run is alive). It removes the paper's
+// pipelining (§3.3) and costs a superlinear slowdown on structured
+// workloads — the ablation isolating the contribution of L = 13
+// pipelining.
+func SequentialRunsOptions() sim.Options {
+	cfg := core.DefaultConfig()
+	cfg.SequentialRuns = true
+	return sim.Options{Config: cfg}
+}
+
+// RunPeriodOptions varies the pipelining period L (paper value 13).
+func RunPeriodOptions(period int) sim.Options {
+	cfg := core.DefaultConfig()
+	cfg.RunPeriod = period
+	return sim.Options{Config: cfg}
+}
+
+// MergeLenOptions varies the merge detection length (paper analysis: 2;
+// implementation bound: viewing path length - 1).
+func MergeLenOptions(maxLen int) sim.Options {
+	cfg := core.DefaultConfig()
+	cfg.MaxMergeLen = maxLen
+	return sim.Options{Config: cfg}
+}
+
+// ViewOptions varies the viewing path length V (paper value 11). The run
+// period scales along (the paper couples L = V + 2 through the proof of
+// Lemma 3).
+func ViewOptions(v int) sim.Options {
+	cfg := core.DefaultConfig()
+	cfg.ViewingPathLength = v
+	cfg.RunPeriod = v + 2
+	cfg.MaxMergeLen = v - 1
+	return sim.Options{Config: cfg}
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"fmt"
+
+	"gridgather/internal/chain"
+)
+
+// Contraction is the global-vision strawman the paper's introduction
+// motivates against: if robots could compute the global smallest enclosing
+// box, they could simply contract towards its centre. Every round each
+// robot clamps its position into the bounding box shrunk by one on every
+// side. Per-coordinate clamping is 1-Lipschitz and identical for equal
+// coordinates, so chain edges stay axis-aligned with length at most one,
+// and each robot moves at most a king step — the move rules of the paper's
+// model are respected; only the information model is stronger.
+type Contraction struct {
+	ch    *chain.Chain
+	round int
+}
+
+// NewContraction wraps a chain (owned afterwards).
+func NewContraction(ch *chain.Chain) *Contraction { return &Contraction{ch: ch} }
+
+// Chain exposes the simulated chain.
+func (g *Contraction) Chain() *chain.Chain { return g.ch }
+
+// Rounds returns the number of executed rounds.
+func (g *Contraction) Rounds() int { return g.round }
+
+// Step performs one contraction round; it returns true while ungathered.
+func (g *Contraction) Step() bool {
+	if g.ch.Gathered() {
+		return false
+	}
+	b := g.ch.Bounds()
+	minX, maxX := b.Min.X, b.Max.X
+	minY, maxY := b.Min.Y, b.Max.Y
+	if maxX-minX >= 2 {
+		minX, maxX = minX+1, maxX-1
+	}
+	if maxY-minY >= 2 {
+		minY, maxY = minY+1, maxY-1
+	}
+	for _, r := range g.ch.Robots() {
+		r.Pos.X = clamp(r.Pos.X, minX, maxX)
+		r.Pos.Y = clamp(r.Pos.Y, minY, maxY)
+	}
+	g.ch.ResolveMerges()
+	g.round++
+	return !g.ch.Gathered()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ContractionResult summarises a contraction run.
+type ContractionResult struct {
+	Rounds     int
+	InitialLen int
+	FinalLen   int
+	Diameter   int
+	Gathered   bool
+}
+
+// Run contracts until gathered. The strategy needs about diameter/2 rounds;
+// the watchdog allows diameter + slack.
+func (g *Contraction) Run() (ContractionResult, error) {
+	res := ContractionResult{InitialLen: g.ch.Len(), Diameter: g.ch.Diameter()}
+	limit := g.ch.Diameter() + 16
+	for g.Step() {
+		if g.round > limit {
+			res.Rounds = g.round
+			return res, fmt.Errorf("baseline: contraction exceeded %d rounds", limit)
+		}
+		if err := g.ch.CheckEdges(); err != nil {
+			return res, fmt.Errorf("baseline: contraction broke the chain: %w", err)
+		}
+	}
+	res.Rounds = g.round
+	res.FinalLen = g.ch.Len()
+	res.Gathered = g.ch.Gathered()
+	return res, nil
+}

@@ -1,0 +1,241 @@
+// Package baseline implements the comparison strategies of the
+// reproduction's experiment E12 (DESIGN.md):
+//
+//   - ManhattanHopper: a reconstruction of the Manhattan-Hopper of
+//     Kutylowski & Meyer auf der Heide (TCS 2009, [KM09] in the paper):
+//     shortening an open chain between two fixed endpoints to a
+//     Manhattan-optimal path in linear time — the result the paper
+//     generalises to closed chains of indistinguishable robots.
+//   - OpenEndpointGather: the paper's §1 remark made executable —
+//     "the gathering of an open chain would be simple in general, as the
+//     endpoints are always locally distinguishable and would simply
+//     sequentially hop onto their inner neighbors".
+//   - Contraction: a global-vision strawman quantifying what the purely
+//     local model gives up (the introduction's motivating comparison).
+//   - Ablations of the paper's own algorithm (merge-only, sequential
+//     runs), as configuration wrappers around the main simulator.
+//
+// Reconstruction note for ManhattanHopper: [KM09]'s strategy pipelines
+// "runs" from the base whose carriers iteratively eliminate detours; the
+// net effect of a run traversing a detour is the removal of one U-turn.
+// This reconstruction applies the U-turn eliminations directly, with
+// unbounded detection length, i.e. it idealises the run transport and
+// keeps the geometric core. Its round counts are therefore a (tight up to
+// constants) proxy for the Hopper's; E12 compares asymptotic shape, not
+// constants. A chain without U-turns is coordinate-monotone and hence
+// Manhattan-optimal, which gives the termination proof.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"gridgather/internal/grid"
+)
+
+// Open-chain validation errors.
+var (
+	ErrOpenTooShort = errors.New("baseline: an open chain needs at least 2 stations")
+	ErrOpenBadEdge  = errors.New("baseline: consecutive stations must be axis-adjacent or co-located")
+	ErrHopperStuck  = errors.New("baseline: hopper made no progress")
+)
+
+// ManhattanHopper shortens an open chain of relay stations between a fixed
+// base (first position) and a fixed explorer (last position) to a
+// Manhattan-optimal path.
+type ManhattanHopper struct {
+	pts   []grid.Vec
+	round int
+	// Removals counts stations spliced out.
+	Removals int
+}
+
+// NewManhattanHopper validates the open chain and prepares the strategy.
+func NewManhattanHopper(pts []grid.Vec) (*ManhattanHopper, error) {
+	if len(pts) < 2 {
+		return nil, ErrOpenTooShort
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		if d := pts[i+1].Sub(pts[i]); !d.IsChainEdge() {
+			return nil, fmt.Errorf("%w (stations %d,%d)", ErrOpenBadEdge, i, i+1)
+		}
+	}
+	cp := make([]grid.Vec, len(pts))
+	copy(cp, pts)
+	return &ManhattanHopper{pts: cp}, nil
+}
+
+// Len returns the current number of stations.
+func (h *ManhattanHopper) Len() int { return len(h.pts) }
+
+// Rounds returns the number of executed rounds.
+func (h *ManhattanHopper) Rounds() int { return h.round }
+
+// Positions returns a copy of the current station positions.
+func (h *ManhattanHopper) Positions() []grid.Vec {
+	cp := make([]grid.Vec, len(h.pts))
+	copy(cp, h.pts)
+	return cp
+}
+
+// OptimalLen is the number of stations of a Manhattan-optimal chain
+// between base and explorer.
+func (h *ManhattanHopper) OptimalLen() int {
+	return h.pts[0].Sub(h.pts[len(h.pts)-1]).L1() + 1
+}
+
+// Done reports whether the chain is Manhattan-optimal.
+func (h *ManhattanHopper) Done() bool {
+	return len(h.pts) == h.OptimalLen()
+}
+
+// openPattern is a U-turn on the open chain: blacks first..first+k-1
+// hopping by hop. The fixed endpoints are never black.
+type openPattern struct {
+	first, k int
+	hop      grid.Vec
+}
+
+// detect finds all U-turns (straight runs whose flanking edges are
+// anti-parallel and perpendicular) and spikes (reversals) on the open
+// chain, endpoints excluded.
+func (h *ManhattanHopper) detect() []openPattern {
+	m := len(h.pts)
+	edge := func(i int) grid.Vec { return h.pts[i+1].Sub(h.pts[i]) }
+	var pats []openPattern
+	// Spikes at interior stations.
+	for i := 1; i+1 < m; i++ {
+		in, out := edge(i-1), edge(i)
+		if in.IsAxisUnit() && out == in.Neg() {
+			pats = append(pats, openPattern{first: i, k: 1, hop: out})
+		}
+	}
+	// Straight runs with U flanks.
+	i := 0
+	for i+1 < m {
+		dir := edge(i)
+		j := i
+		for j+1 < m && edge(j) == dir {
+			j++
+		}
+		// Run of equal edges i..j-1 covering stations i..j.
+		if i >= 1 && j < m-1 {
+			before, after := edge(i-1), edge(j)
+			if dir.IsAxisUnit() && after.IsAxisUnit() && after == before.Neg() && after.Perp(dir) {
+				pats = append(pats, openPattern{first: i, k: j - i + 1, hop: after})
+			}
+		}
+		i = j
+	}
+	return pats
+}
+
+// Step executes one synchronous round of U-turn elimination. It returns
+// true while more work remains.
+func (h *ManhattanHopper) Step() bool {
+	if h.Done() {
+		return false
+	}
+	pats := h.detect()
+	if len(pats) == 0 {
+		// No U-turns: the chain is monotone and hence optimal; Done would
+		// have reported true. Reaching here means no progress is possible.
+		return false
+	}
+	hops := make(map[int]grid.Vec)
+	for _, p := range pats {
+		for j := 0; j < p.k; j++ {
+			hops[p.first+j] = hops[p.first+j].Add(p.hop)
+		}
+	}
+	for i, v := range hops {
+		h.pts[i] = h.pts[i].Add(v)
+	}
+	h.splice()
+	h.round++
+	return !h.Done()
+}
+
+// splice removes stations co-located with a chain neighbour (never the
+// fixed endpoints).
+func (h *ManhattanHopper) splice() {
+	for i := 1; i+1 < len(h.pts); {
+		if h.pts[i] == h.pts[i-1] || h.pts[i] == h.pts[i+1] {
+			h.pts = append(h.pts[:i], h.pts[i+1:]...)
+			h.Removals++
+			continue
+		}
+		i++
+	}
+}
+
+// HopperResult summarises a full Manhattan-Hopper execution.
+type HopperResult struct {
+	Rounds     int
+	InitialLen int
+	FinalLen   int
+	OptimalLen int
+	Removals   int
+	Optimal    bool
+}
+
+// Run executes rounds until the chain is optimal, or errors out after the
+// watchdog limit (4n + 16 rounds; the strategy is linear).
+func (h *ManhattanHopper) Run() (HopperResult, error) {
+	res := HopperResult{InitialLen: len(h.pts), OptimalLen: h.OptimalLen()}
+	limit := 4*len(h.pts) + 16
+	for h.Step() {
+		if err := h.checkValid(); err != nil {
+			return res, err
+		}
+		if h.round > limit {
+			res.Rounds = h.round
+			res.FinalLen = len(h.pts)
+			return res, fmt.Errorf("%w after %d rounds (len %d, optimal %d)",
+				ErrHopperStuck, h.round, len(h.pts), res.OptimalLen)
+		}
+	}
+	res.Rounds = h.round
+	res.FinalLen = len(h.pts)
+	res.Removals = h.Removals
+	res.Optimal = h.Done()
+	if !res.Optimal {
+		return res, fmt.Errorf("%w: stalled at %d stations (optimal %d)",
+			ErrHopperStuck, res.FinalLen, res.OptimalLen)
+	}
+	return res, nil
+}
+
+func (h *ManhattanHopper) checkValid() error {
+	for i := 0; i+1 < len(h.pts); i++ {
+		if !h.pts[i+1].Sub(h.pts[i]).IsChainEdge() {
+			return fmt.Errorf("%w (stations %d,%d after round %d)", ErrOpenBadEdge, i, i+1, h.round)
+		}
+	}
+	return nil
+}
+
+// OpenEndpointGather gathers an open chain with mobile, distinguishable
+// endpoints: each round both endpoints hop onto their inner neighbours and
+// merge — the paper's §1 observation that distinguishable endpoints make
+// gathering easy. It returns the number of rounds (about half the chain
+// length).
+func OpenEndpointGather(pts []grid.Vec) (rounds int, err error) {
+	if len(pts) < 2 {
+		return 0, ErrOpenTooShort
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		if d := pts[i+1].Sub(pts[i]); !d.IsChainEdge() {
+			return 0, fmt.Errorf("%w (stations %d,%d)", ErrOpenBadEdge, i, i+1)
+		}
+	}
+	chain := make([]grid.Vec, len(pts))
+	copy(chain, pts)
+	for len(chain) > 2 {
+		// Both endpoints hop onto their inner neighbours simultaneously
+		// and merge with them.
+		chain = chain[1 : len(chain)-1]
+		rounds++
+	}
+	return rounds, nil
+}

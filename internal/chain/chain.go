@@ -1,0 +1,390 @@
+// Package chain implements the closed-chain substrate of the paper: a cyclic
+// sequence of robots on the integer grid in which consecutive robots occupy
+// the same or axis-adjacent grid points.
+//
+// The package owns the data-structure level concerns — ring storage, edge
+// validity, merge splicing (the paper's progress operation), straight-run
+// decomposition and serialisation — while the algorithm itself lives in
+// internal/core and the synchronous driver in internal/sim.
+package chain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"gridgather/internal/grid"
+)
+
+// Robot is one chain member. Robots are anonymous to the algorithm; the ID
+// is simulator-internal bookkeeping (stable across rounds and merges) used
+// for run ownership and instrumentation only.
+type Robot struct {
+	ID  int
+	Pos grid.Vec
+}
+
+// Chain is a closed chain of robots. Index arithmetic is cyclic: index i and
+// i+Len() refer to the same robot.
+type Chain struct {
+	robots []*Robot
+	index  map[*Robot]int
+	nextID int
+}
+
+// Common construction and validation errors.
+var (
+	ErrTooShort    = errors.New("chain: a closed chain needs at least 2 robots")
+	ErrOddLength   = errors.New("chain: a closed grid chain must have even length")
+	ErrBadEdge     = errors.New("chain: consecutive robots must be axis-adjacent or co-located")
+	ErrZeroEdge    = errors.New("chain: initial configurations may not co-locate chain neighbours")
+	ErrNotClosed   = errors.New("chain: the walk does not return to its start")
+	ErrEmptyDecode = errors.New("chain: cannot decode empty robot list")
+)
+
+// New builds a closed chain from the given positions, in chain order.
+// It enforces the paper's initial-configuration requirements: every
+// consecutive pair (including last-to-first) must be axis-adjacent, no two
+// chain neighbours may coincide, and the length must be even (any closed
+// walk on Z^2 has even length, so an odd input is always a typo).
+func New(positions []grid.Vec) (*Chain, error) {
+	if err := ValidateInitial(positions); err != nil {
+		return nil, err
+	}
+	return fromPositions(positions), nil
+}
+
+// MustNew is New but panics on invalid input; intended for tests and
+// hand-written example configurations.
+func MustNew(positions []grid.Vec) *Chain {
+	c, err := New(positions)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ValidateInitial checks the paper's conditions on a starting configuration
+// without building a chain.
+func ValidateInitial(positions []grid.Vec) error {
+	n := len(positions)
+	if n < 2 {
+		return ErrTooShort
+	}
+	if n%2 != 0 {
+		return ErrOddLength
+	}
+	for i := 0; i < n; i++ {
+		d := positions[(i+1)%n].Sub(positions[i])
+		if d.IsZero() {
+			return fmt.Errorf("%w (indices %d,%d at %v)", ErrZeroEdge, i, (i+1)%n, positions[i])
+		}
+		if !d.IsAxisUnit() {
+			return fmt.Errorf("%w (indices %d,%d: %v -> %v)", ErrBadEdge, i, (i+1)%n, positions[i], positions[(i+1)%n])
+		}
+	}
+	return nil
+}
+
+func fromPositions(positions []grid.Vec) *Chain {
+	c := &Chain{
+		robots: make([]*Robot, len(positions)),
+		index:  make(map[*Robot]int, len(positions)),
+	}
+	for i, p := range positions {
+		r := &Robot{ID: c.nextID, Pos: p}
+		c.nextID++
+		c.robots[i] = r
+		c.index[r] = i
+	}
+	return c
+}
+
+// Len returns the current number of robots.
+func (c *Chain) Len() int { return len(c.robots) }
+
+// norm maps any integer index into [0, Len).
+func (c *Chain) norm(i int) int {
+	n := len(c.robots)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// At returns the robot at cyclic index i.
+func (c *Chain) At(i int) *Robot { return c.robots[c.norm(i)] }
+
+// Pos returns the position of the robot at cyclic index i.
+func (c *Chain) Pos(i int) grid.Vec { return c.robots[c.norm(i)].Pos }
+
+// IndexOf returns the current index of r, or -1 if r is no longer part of
+// the chain (it was removed by a merge).
+func (c *Chain) IndexOf(r *Robot) int {
+	if i, ok := c.index[r]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether r is still part of the chain.
+func (c *Chain) Contains(r *Robot) bool { _, ok := c.index[r]; return ok }
+
+// Edge returns the displacement from robot i to robot i+1.
+func (c *Chain) Edge(i int) grid.Vec {
+	return c.Pos(i + 1).Sub(c.Pos(i))
+}
+
+// Positions returns a copy of all robot positions in chain order.
+func (c *Chain) Positions() []grid.Vec {
+	ps := make([]grid.Vec, len(c.robots))
+	for i, r := range c.robots {
+		ps[i] = r.Pos
+	}
+	return ps
+}
+
+// Robots returns the robots in chain order. The slice is shared; callers
+// must not mutate it.
+func (c *Chain) Robots() []*Robot { return c.robots }
+
+// Bounds returns the bounding box of the configuration.
+func (c *Chain) Bounds() grid.Box {
+	var b grid.Box
+	for _, r := range c.robots {
+		b.Include(r.Pos)
+	}
+	return b
+}
+
+// Gathered reports the paper's termination condition: all robots lie within
+// a 2x2 subgrid.
+func (c *Chain) Gathered() bool { return c.Bounds().FitsSquare(2) }
+
+// CheckEdges verifies that every edge is a legal chain edge (axis unit or
+// zero). It is the safety invariant the algorithm must never violate.
+func (c *Chain) CheckEdges() error {
+	for i := range c.robots {
+		if !c.Edge(i).IsChainEdge() {
+			return fmt.Errorf("%w: edge %d..%d is %v (%v -> %v)",
+				ErrBadEdge, i, c.norm(i+1), c.Edge(i), c.Pos(i), c.Pos(i+1))
+		}
+	}
+	return nil
+}
+
+// CheckNoZeroEdges verifies that no two chain neighbours are co-located;
+// this must hold after every round's merge resolution.
+func (c *Chain) CheckNoZeroEdges() error {
+	if len(c.robots) <= 2 {
+		return nil // a fully gathered pair may legitimately coincide
+	}
+	for i := range c.robots {
+		if c.Edge(i).IsZero() {
+			return fmt.Errorf("%w: neighbours %d,%d at %v", ErrZeroEdge, i, c.norm(i+1), c.Pos(i))
+		}
+	}
+	return nil
+}
+
+// MergeEvent records one splice performed by ResolveMerges.
+type MergeEvent struct {
+	// Survivor stays on the chain, Removed was spliced out. Both occupied
+	// Pos when the merge happened.
+	Survivor, Removed *Robot
+	Pos               grid.Vec
+}
+
+// ResolveMerges repeatedly merges co-located chain neighbours until none
+// remain, per the paper's model ("their neighbourhoods are merged and one of
+// both is removed"). The robot with the larger internal ID is removed, an
+// arbitrary but deterministic tie-break invisible to the algorithm.
+// It returns the performed merges in execution order.
+//
+// Merging stops early when only two robots remain: a 2-cycle is a gathered
+// configuration and needs no further shortening.
+func (c *Chain) ResolveMerges() []MergeEvent {
+	var events []MergeEvent
+	for len(c.robots) > 2 {
+		merged := false
+		for i := 0; i < len(c.robots); i++ {
+			j := c.norm(i + 1)
+			a, b := c.robots[i], c.robots[j]
+			if a.Pos != b.Pos {
+				continue
+			}
+			surv, rem := a, b
+			if surv.ID > rem.ID {
+				surv, rem = rem, surv
+			}
+			c.removeAt(c.index[rem])
+			events = append(events, MergeEvent{Survivor: surv, Removed: rem, Pos: surv.Pos})
+			merged = true
+			break
+		}
+		if !merged {
+			break
+		}
+	}
+	return events
+}
+
+func (c *Chain) removeAt(i int) {
+	r := c.robots[i]
+	c.robots = append(c.robots[:i], c.robots[i+1:]...)
+	delete(c.index, r)
+	for k := i; k < len(c.robots); k++ {
+		c.index[c.robots[k]] = k
+	}
+}
+
+// Clone returns a deep copy of the chain. Robot IDs are preserved so traces
+// of a cloned run stay comparable.
+func (c *Chain) Clone() *Chain {
+	cp := &Chain{
+		robots: make([]*Robot, len(c.robots)),
+		index:  make(map[*Robot]int, len(c.robots)),
+		nextID: c.nextID,
+	}
+	for i, r := range c.robots {
+		nr := &Robot{ID: r.ID, Pos: r.Pos}
+		cp.robots[i] = nr
+		cp.index[nr] = i
+	}
+	return cp
+}
+
+// PerimeterLength returns the total L1 length of all edges. For a valid
+// post-merge chain this equals Len().
+func (c *Chain) PerimeterLength() int {
+	total := 0
+	for i := range c.robots {
+		total += c.Edge(i).L1()
+	}
+	return total
+}
+
+// Diameter returns the LInf diameter of the configuration, the paper's
+// lower-bound witness for gathering time.
+func (c *Chain) Diameter() int {
+	b := c.Bounds()
+	if b.Empty() {
+		return 0
+	}
+	return max(b.Width(), b.Height()) - 1
+}
+
+// chainJSON is the serialised form: positions in chain order.
+type chainJSON struct {
+	Positions [][2]int `json:"positions"`
+}
+
+// MarshalJSON encodes the chain as its position sequence.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	out := chainJSON{Positions: make([][2]int, len(c.robots))}
+	for i, r := range c.robots {
+		out.Positions[i] = [2]int{r.Pos.X, r.Pos.Y}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a chain previously written by MarshalJSON. The
+// decoded chain is re-validated against the initial-configuration rules.
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var in chainJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Positions) == 0 {
+		return ErrEmptyDecode
+	}
+	ps := make([]grid.Vec, len(in.Positions))
+	for i, xy := range in.Positions {
+		ps[i] = grid.V(xy[0], xy[1])
+	}
+	nc, err := New(ps)
+	if err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}
+
+// Turn classifies the corner at robot i: the cross product of its incoming
+// and outgoing edges. +1 is a left (counter-clockwise) turn, -1 a right
+// turn, 0 straight or a reversal. Zero-length edges yield 0.
+func (c *Chain) Turn(i int) int {
+	in, out := c.Edge(i-1), c.Edge(i)
+	cr := in.Cross(out)
+	switch {
+	case cr > 0:
+		return 1
+	case cr < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// TotalTurning returns the sum of signed quarter-turns around the chain; a
+// simple closed lattice polygon has total turning +-4. Used by generators
+// and tests as a sanity metric.
+func (c *Chain) TotalTurning() int {
+	t := 0
+	for i := range c.robots {
+		t += c.Turn(i)
+	}
+	return t
+}
+
+// EdgeRun describes a maximal straight run of edges: edges Start..Start+Len-1
+// (cyclic) all equal Dir. Robots Start..Start+Len participate.
+type EdgeRun struct {
+	Start int      // index of the first edge (= its source robot)
+	Len   int      // number of consecutive equal edges
+	Dir   grid.Vec // common edge direction
+}
+
+// EdgeRuns decomposes the chain's edge cycle into maximal straight runs in
+// chain order. A chain that is one full straight loop cannot exist (the walk
+// must close), so the decomposition is well defined whenever Len() >= 2 and
+// at least one direction change exists; for degenerate 2-cycles it returns
+// the two single-edge runs.
+func (c *Chain) EdgeRuns() []EdgeRun {
+	n := len(c.robots)
+	if n == 0 {
+		return nil
+	}
+	// Find a break: an index where the edge direction changes.
+	start := -1
+	for i := 0; i < n; i++ {
+		if c.Edge(i) != c.Edge(i-1) {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		// All edges identical — impossible for a closed chain, but keep a
+		// defined behaviour for robustness.
+		return []EdgeRun{{Start: 0, Len: n, Dir: c.Edge(0)}}
+	}
+	var runs []EdgeRun
+	i := start
+	for counted := 0; counted < n; {
+		dir := c.Edge(i)
+		l := 1
+		for counted+l < n && c.Edge(i+l) == dir {
+			l++
+		}
+		runs = append(runs, EdgeRun{Start: c.norm(i), Len: l, Dir: dir})
+		i += l
+		counted += l
+	}
+	return runs
+}
+
+// String summarises the chain for debugging.
+func (c *Chain) String() string {
+	return fmt.Sprintf("chain{n=%d bounds=%v}", len(c.robots), c.Bounds())
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/grid"
+)
+
+func TestDecomposeSquareRing(t *testing.T) {
+	c := mustChain(t, squareRing(12)...)
+	segs := Decompose(c)
+	st := Stats(segs)
+	if st.QuasiLines != 4 {
+		t.Errorf("square ring: %d quasi lines, want 4 (%v)", st.QuasiLines, segs)
+	}
+	if st.Irregular != 0 || st.Stairways != 0 {
+		t.Errorf("square ring should be four pure quasi lines: %+v", st)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.EdgeLen
+	}
+	if total != c.Len() {
+		t.Errorf("decomposition covers %d of %d edges", total, c.Len())
+	}
+}
+
+func TestDecomposeStairwayChain(t *testing.T) {
+	// The Fig 5.(i) scenario chain: a quasi line meeting a stairway.
+	c := stairwayChain(t)
+	segs := Decompose(c)
+	st := Stats(segs)
+	if st.QuasiLines == 0 {
+		t.Fatalf("no quasi line found: %v", segs)
+	}
+	if st.Irregular != 0 {
+		t.Errorf("stairway chain decomposed with irregular parts: %v", segs)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.EdgeLen
+	}
+	if total != c.Len() {
+		t.Errorf("decomposition covers %d of %d edges", total, c.Len())
+	}
+}
+
+func TestDecomposeSpikeIsIrregular(t *testing.T) {
+	// A doubled segment is all spikes: mergeable, hence irregular.
+	c := mustChain(t, grid.V(0, 0), grid.V(1, 0), grid.V(2, 0), grid.V(1, 0))
+	st := Stats(Decompose(c))
+	if st.Irregular == 0 {
+		t.Errorf("spiky chain must contain irregular segments: %+v", st)
+	}
+}
+
+// TestDecomposeMergeless is the structural claim of Lemma 1's proof made
+// executable (Fig 16): random Mergeless Chains decompose into quasi lines
+// and stairways only — no irregular segment — and both horizontal and
+// vertical quasi lines occur (the chain must close).
+func TestDecomposeMergeless(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		c := mergelessChain(t, 3+rng.Intn(8), rng)
+		if pats := DetectMerges(c, DefaultMaxMergeLen); len(pats) != 0 {
+			t.Fatalf("trial %d: chain not mergeless", trial)
+		}
+		segs := Decompose(c)
+		st := Stats(segs)
+		if st.Irregular != 0 {
+			t.Errorf("trial %d: mergeless chain has irregular segments: %v", trial, segs)
+		}
+		axes := map[bool]bool{} // horizontal? -> present
+		for _, s := range segs {
+			if s.Kind == SegQuasiLine {
+				axes[s.Dir.Y == 0] = true
+			}
+		}
+		if !axes[true] || !axes[false] {
+			t.Errorf("trial %d: a closed chain needs quasi lines on both axes: %v", trial, segs)
+		}
+	}
+}
+
+// TestDecomposeMatchesStartPatterns cross-validates the local Fig 5 rules
+// against the global structure: on a mergeless chain, the robots that the
+// local detector elects are exactly the endpoints of the decomposition's
+// quasi lines (up to the detector's 3-robot confirmation window).
+func TestDecomposeMatchesStartPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 10; trial++ {
+		c := mergelessChain(t, 3+rng.Intn(6), rng)
+		segs := Decompose(c)
+		endpoints := map[int]bool{}
+		for _, s := range segs {
+			if s.Kind == SegQuasiLine {
+				endpoints[mod(s.FirstEdge, c.Len())] = true
+				endpoints[mod(s.FirstEdge+s.EdgeLen, c.Len())] = true
+			}
+		}
+		for i := 0; i < c.Len(); i++ {
+			_, ok := DetectStart(snap(c, i))
+			if ok && !endpoints[i] {
+				t.Errorf("trial %d: robot %d starts runs but is no quasi-line endpoint", trial, i)
+			}
+			if !ok && endpoints[i] {
+				t.Errorf("trial %d: quasi-line endpoint %d starts no runs", trial, i)
+			}
+		}
+	}
+}
+
+// mergelessChain grows a random polyomino and inflates it so every
+// boundary segment exceeds the merge detection length (a local copy of
+// generate.MergelessPolyomino; core tests do not import generate).
+func mergelessChain(t *testing.T, blobCells int, rng *rand.Rand) *chain.Chain {
+	t.Helper()
+	type cell struct{ x, y int }
+	set := map[cell]bool{{0, 0}: true}
+	frontier := []cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	queued := map[cell]bool{{1, 0}: true, {-1, 0}: true, {0, 1}: true, {0, -1}: true}
+	for len(set) < blobCells && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		cl := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		delete(queued, cl)
+		set[cl] = true
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nb := cell{cl.x + d[0], cl.y + d[1]}
+			if !set[nb] && !queued[nb] {
+				frontier = append(frontier, nb)
+				queued[nb] = true
+			}
+		}
+	}
+	// Inflate by V (> MaxMergeLen) and trace the boundary with a local
+	// copy of the left-hand tracer.
+	const k = DefaultViewingPathLength
+	big := map[cell]bool{}
+	for cl := range set {
+		for dx := 0; dx < k; dx++ {
+			for dy := 0; dy < k; dy++ {
+				big[cell{cl.x*k + dx, cl.y*k + dy}] = true
+			}
+		}
+	}
+	var start cell
+	first := true
+	for cl := range big {
+		if first || cl.y < start.y || (cl.y == start.y && cl.x < start.x) {
+			start, first = cl, false
+		}
+	}
+	pos := grid.V(start.x, start.y)
+	dir := grid.East
+	origin, originDir := pos, dir
+	var pts []grid.Vec
+	for steps := 0; steps < 16*len(big)*len(big)+64; steps++ {
+		var lf, rf cell
+		switch dir {
+		case grid.East:
+			lf, rf = cell{pos.X, pos.Y}, cell{pos.X, pos.Y - 1}
+		case grid.North:
+			lf, rf = cell{pos.X - 1, pos.Y}, cell{pos.X, pos.Y}
+		case grid.West:
+			lf, rf = cell{pos.X - 1, pos.Y - 1}, cell{pos.X - 1, pos.Y}
+		default:
+			lf, rf = cell{pos.X, pos.Y - 1}, cell{pos.X - 1, pos.Y - 1}
+		}
+		switch {
+		case big[lf] && !big[rf]:
+			pts = append(pts, pos)
+			pos = pos.Add(dir)
+		case big[lf] || big[rf]:
+			dir = dir.RotCW()
+		default:
+			dir = dir.RotCCW()
+		}
+		if pos == origin && dir == originDir && len(pts) > 0 {
+			break
+		}
+	}
+	return mustChain(t, pts...)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"gridgather/internal/grid"
+)
+
+// opBChain returns a closed chain with the exact Fig 11.b situation at
+// index 1: a runner corner (trailing robot below at index 0) followed by a
+// straight segment of exactly three robots, an up-jog, and a long straight
+// run; all other sides are longer than the merge detection length.
+func opBChain(t *testing.T) ([]grid.Vec, int) {
+	t.Helper()
+	pts := []grid.Vec{
+		grid.V(0, 0), // trailing robot
+		grid.V(0, 1), // the runner corner e
+		grid.V(1, 1), grid.V(2, 1), // segment of exactly 3 with e
+		grid.V(2, 2), // jog target corner c
+	}
+	for x := 3; x <= 14; x++ {
+		pts = append(pts, grid.V(x, 2))
+	}
+	for y := 1; y >= -10; y-- {
+		pts = append(pts, grid.V(14, y))
+	}
+	for x := 13; x >= 1; x-- {
+		pts = append(pts, grid.V(x, -10))
+	}
+	for y := -10; y <= -1; y++ {
+		pts = append(pts, grid.V(0, y))
+	}
+	return pts, 1
+}
+
+// TestFig11bOperationB pins operation (b) (Fig 11.b, the jog traversal of
+// Fig 13): a runner whose segment has exactly three robots crosses the jog
+// with three hop-free moves and resumes on the target corner.
+func TestFig11bOperationB(t *testing.T) {
+	pts, runnerIdx := opBChain(t)
+	alg := newAlg(t, true, pts...)
+	c := alg.Chain()
+	if pats := DetectMerges(c, DefaultMaxMergeLen); len(pats) != 0 {
+		t.Fatalf("test chain must be mergeless, found %+v", pats)
+	}
+	run := alg.InjectRun(runnerIdx, +1)
+	target := c.At(runnerIdx + 3) // the corner after the jog, (2,2)
+	if target.Pos != grid.V(2, 2) {
+		t.Fatalf("target corner lookup wrong: %v", target.Pos)
+	}
+
+	// Round 1: the runner recognises the short segment and starts the
+	// traverse towards the corner, without hopping.
+	rep := stepOK(t, alg)
+	if rep.RunnerHops != 0 {
+		t.Errorf("operation (b) must not hop, got %d hops", rep.RunnerHops)
+	}
+	if run.Mode != ModeTraverse {
+		t.Fatalf("run mode = %v, want traverse", run.Mode)
+	}
+	if run.OpTarget != target {
+		t.Fatalf("operation target = %v, want the corner after the jog", run.OpTarget.Pos)
+	}
+
+	// Two more hop-free moves land it on the corner, back in normal mode.
+	for i := 0; i < 2; i++ {
+		rep = stepOK(t, alg)
+		if rep.RunnerHops != 0 {
+			t.Errorf("move %d: operation (b) must stay hop-free", i+2)
+		}
+	}
+	if run.Host != target {
+		t.Fatalf("run landed on %v, want %v", run.Host.Pos, target.Pos)
+	}
+	if run.Mode != ModeNormal {
+		t.Fatalf("run mode after traverse = %v, want normal", run.Mode)
+	}
+
+	// From the corner the runner resumes reshapement (operation a): the
+	// next round hops diagonally along the long top run.
+	rep = stepOK(t, alg)
+	if rep.RunnerHops != 1 {
+		t.Errorf("operation (a) should resume after the jog, hops = %d", rep.RunnerHops)
+	}
+}
+
+// TestFig13StaircaseGathers: the Fig 13 staircase workload (skyline quasi
+// line with interior jogs, treads longer than the merge length) gathers
+// with automatic starts.
+func TestFig13StaircaseGathers(t *testing.T) {
+	alg := newAlg(t, false, staircasePoints(3, 13)...)
+	for round := 0; round < 600; round++ {
+		if rep := stepOK(t, alg); rep.Gathered {
+			return
+		}
+	}
+	t.Fatal("staircase did not gather")
+}
+
+// staircasePoints returns the boundary of a staircase polyomino with S
+// one-cell-high steps of tread length R.
+func staircasePoints(S, R int) []grid.Vec {
+	corners := []grid.Vec{grid.V(0, 0), grid.V(S*R, 0), grid.V(S*R, S)}
+	for s := S - 1; s >= 1; s-- {
+		corners = append(corners, grid.V(s*R, s+1), grid.V(s*R, s))
+	}
+	corners = append(corners, grid.V(0, 1))
+	var pts []grid.Vec
+	for i, c := range corners {
+		next := corners[(i+1)%len(corners)]
+		d := next.Sub(c)
+		steps := d.L1()
+		unit := grid.V(sign(d.X), sign(d.Y))
+		for j := 0; j < steps; j++ {
+			pts = append(pts, c.Add(unit.Scale(j)))
+		}
+	}
+	return pts
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// TestFig13StaircaseValid sanity-checks the staircase helper.
+func TestFig13StaircaseValid(t *testing.T) {
+	c := mustChain(t, staircasePoints(4, 13)...)
+	if c.Len() != 2*4*13+2*4 {
+		t.Errorf("staircase robots = %d, want %d", c.Len(), 2*4*13+2*4)
+	}
+	if got := c.TotalTurning(); got != 4 && got != -4 {
+		t.Errorf("staircase turning = %d", got)
+	}
+}

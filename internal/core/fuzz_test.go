@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/grid"
+)
+
+// randomWalkChain builds a random closed walk directly (the generate
+// package depends on core tests staying independent).
+func randomWalkChain(t *testing.T, pairs int, rng *rand.Rand) *chain.Chain {
+	t.Helper()
+	steps := make([]grid.Vec, 0, 2*pairs)
+	h := 1 + rng.Intn(pairs)
+	for i := 0; i < h && i < pairs; i++ {
+		steps = append(steps, grid.East, grid.West)
+	}
+	for i := h; i < pairs; i++ {
+		steps = append(steps, grid.North, grid.South)
+	}
+	rng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+	ps := make([]grid.Vec, len(steps))
+	p := grid.Zero
+	for i, s := range steps {
+		ps[i] = p
+		p = p.Add(s)
+	}
+	return mustChain(t, ps...)
+}
+
+// TestFuzzRoundReportConsistency steps random chains and cross-checks every
+// report against the observable chain state.
+func TestFuzzRoundReportConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		c := randomWalkChain(t, 6+rng.Intn(40), rng)
+		alg, err := New(c, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevLen := c.Len()
+		for round := 0; round < 400; round++ {
+			rep, err := alg.Step()
+			if err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			if rep.Gathered {
+				break
+			}
+			if rep.ChainLen != c.Len() {
+				t.Fatalf("trial %d: report len %d != chain len %d", trial, rep.ChainLen, c.Len())
+			}
+			if prevLen-rep.ChainLen != rep.Merges() {
+				t.Fatalf("trial %d: shrink %d != merges %d", trial, prevLen-rep.ChainLen, rep.Merges())
+			}
+			if rep.ActiveRuns != len(alg.Runs()) {
+				t.Fatalf("trial %d: active runs %d != registry %d", trial, rep.ActiveRuns, len(alg.Runs()))
+			}
+			for _, run := range alg.Runs() {
+				if !c.Contains(run.Host) {
+					t.Fatalf("trial %d: run %d hosted off-chain", trial, run.ID)
+				}
+				if run.Dir != 1 && run.Dir != -1 {
+					t.Fatalf("trial %d: run %d direction %d", trial, run.ID, run.Dir)
+				}
+			}
+			if err := c.CheckEdges(); err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			if err := c.CheckNoZeroEdges(); err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			prevLen = rep.ChainLen
+		}
+		if !alg.Gathered() {
+			t.Fatalf("trial %d: random walk did not gather in 400 rounds", trial)
+		}
+	}
+}
+
+// TestFuzzMergePlanSafety: on random chains, executing the merge plan alone
+// (hops applied simultaneously) never breaks the chain, and a white of an
+// executing spike only moves when it is itself the black of another spike
+// (the suppression rule bans straight-pattern hops on spike whites).
+func TestFuzzMergePlanSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 200; trial++ {
+		c := randomWalkChain(t, 4+rng.Intn(30), rng)
+		plan, err := PlanMerges(c, DefaultMaxMergeLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spikeBlacks := map[*chain.Robot]bool{}
+		for _, pat := range plan.Executing {
+			if pat.Len == 1 {
+				spikeBlacks[c.At(pat.FirstBlack)] = true
+			}
+		}
+		for _, pat := range plan.Executing {
+			if pat.Len != 1 {
+				continue
+			}
+			for _, w := range []int{pat.WhiteBefore(), pat.WhiteAfter()} {
+				r := c.At(w)
+				if h, ok := plan.Hops[r]; ok && !h.IsZero() && !spikeBlacks[r] {
+					t.Fatalf("trial %d: spike white hops %v via a straight pattern", trial, h)
+				}
+			}
+		}
+		for r, h := range plan.Hops {
+			r.Pos = r.Pos.Add(h)
+		}
+		if err := c.CheckEdges(); err != nil {
+			t.Fatalf("trial %d: merge plan broke the chain: %v", trial, err)
+		}
+	}
+}
+
+// TestInjectRunRegistry checks the test-hook keeps the registry coherent.
+func TestInjectRunRegistry(t *testing.T) {
+	c := mustChain(t, squareRing(12)...)
+	alg, err := New(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := alg.InjectRun(0, +1)
+	if len(alg.Runs()) != 1 || alg.Runs()[0] != run {
+		t.Fatal("run registry wrong after injection")
+	}
+	views := alg.RunsOn(c.At(0))
+	if len(views) != 1 || views[0].Dir != 1 {
+		t.Fatalf("injected run not visible: %+v", views)
+	}
+	if alg.RunsOn(c.At(1)) != nil {
+		t.Fatal("phantom run visible")
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/grid"
+)
+
+// MergePattern is one instance of the paper's merge operation (Fig 2): a
+// straight "black" subchain of k robots flanked by two "white" chain
+// neighbours displaced by the same perpendicular unit vector. All blacks
+// hop by that vector; afterwards the outermost blacks coincide with the
+// whites and the chain is shortened.
+//
+// In edge terms the pattern is a U-turn: the edge entering the first black
+// is -Hop, the k-1 interior edges are straight, and the edge leaving the
+// last black is +Hop. k = 1 degenerates to a single direction reversal
+// (Fig 2 "length 1": the two whites coincide).
+type MergePattern struct {
+	// FirstBlack is the chain index of the first black robot; the blacks
+	// are FirstBlack .. FirstBlack+Len-1 (cyclic).
+	FirstBlack int
+	// Len is k, the number of black robots.
+	Len int
+	// Hop is the perpendicular unit vector all blacks hop by (towards the
+	// whites).
+	Hop grid.Vec
+}
+
+// WhiteBefore returns the chain index of the white robot preceding the
+// blacks.
+func (p MergePattern) WhiteBefore() int { return p.FirstBlack - 1 }
+
+// WhiteAfter returns the chain index of the white robot following the
+// blacks.
+func (p MergePattern) WhiteAfter() int { return p.FirstBlack + p.Len }
+
+// DetectMerges finds every merge pattern currently present on the chain
+// with black length at most maxLen. maxLen must not exceed the viewing
+// path length minus one: a pattern spans k+2 robots and every participant
+// must see all of them (paper §3.1), which is exactly k+1 <= V.
+//
+// The scan is global for efficiency, but it is information-equivalent to
+// each robot's local detection: every pattern it reports lies within the
+// view of each of its participants.
+func DetectMerges(ch *chain.Chain, maxLen int) []MergePattern {
+	n := ch.Len()
+	if n < 3 {
+		return nil
+	}
+	var patterns []MergePattern
+
+	// k = 1 spikes: a direction reversal at a single robot. Its two
+	// neighbours necessarily coincide (both at black + out-edge).
+	for i := 0; i < n; i++ {
+		in := ch.Edge(i - 1) // white1 -> black
+		out := ch.Edge(i)    // black -> white2
+		if !in.IsAxisUnit() || out != in.Neg() {
+			continue
+		}
+		patterns = append(patterns, MergePattern{FirstBlack: i, Len: 1, Hop: out})
+	}
+
+	// k >= 2: maximal straight edge runs flanked by an anti-parallel
+	// perpendicular edge pair (the U shape).
+	for _, run := range ch.EdgeRuns() {
+		k := run.Len + 1 // robots in the straight segment
+		if k < 2 || k > maxLen || k+2 > n {
+			continue
+		}
+		before := ch.Edge(run.Start - 1)      // white1 -> first black
+		after := ch.Edge(run.Start + run.Len) // last black -> white2
+		if !after.IsAxisUnit() || after != before.Neg() || !after.Perp(run.Dir) {
+			continue
+		}
+		patterns = append(patterns, MergePattern{FirstBlack: run.Start, Len: k, Hop: after})
+	}
+	return patterns
+}
+
+// MergePlan aggregates the simultaneous execution of all detected merge
+// patterns in one round: the hop of every black robot (summed across its at
+// most two patterns, one per axis — this is the diagonal hop of Fig 3(b))
+// and the participant set (blacks and whites), whose members suspend run
+// operations and whose runs terminate (Table 1.3).
+//
+// Spike priority (reconstruction decision, DESIGN.md §3.1): in degenerate
+// doubled configurations every pattern's whites can simultaneously be
+// blacks of another pattern, so all merge hops miss their whites and the
+// configuration oscillates — a case the paper's overlap discussion (Fig 3)
+// does not cover. A spike (k = 1, coincident whites) succeeds whenever its
+// whites hold still; therefore spikes always execute and any straight
+// pattern whose blacks include a spike's whites is suppressed for the
+// round. Spike whites are then provably static (they cannot be blacks of
+// an executing pattern, and all-spike chains are already gathered), so
+// every round containing a spike performs a merge.
+type MergePlan struct {
+	// Patterns are all detected patterns; Executing the subset performing
+	// hops this round (Suppressed counts the difference).
+	Patterns     []MergePattern
+	Executing    []MergePattern
+	Suppressed   int
+	Hops         map[*chain.Robot]grid.Vec
+	Participants map[*chain.Robot]bool
+}
+
+// Empty reports whether no merge is possible anywhere on the chain (the
+// chain is a "Mergeless Chain" for the configured detection length).
+func (p *MergePlan) Empty() bool { return len(p.Patterns) == 0 }
+
+// PlanMerges detects all patterns, applies the spike-priority rule, and
+// combines the executing patterns' hops. It returns an error if two
+// executing patterns assign conflicting hops along the same axis to one
+// robot, which the pattern geometry rules out; the check guards the
+// implementation, not the model.
+func PlanMerges(ch *chain.Chain, maxLen int) (*MergePlan, error) {
+	plan := &MergePlan{
+		Patterns:     DetectMerges(ch, maxLen),
+		Hops:         make(map[*chain.Robot]grid.Vec),
+		Participants: make(map[*chain.Robot]bool),
+	}
+	spikeWhites := make(map[*chain.Robot]bool)
+	for _, pat := range plan.Patterns {
+		if pat.Len == 1 {
+			spikeWhites[ch.At(pat.WhiteBefore())] = true
+			spikeWhites[ch.At(pat.WhiteAfter())] = true
+		}
+	}
+	for _, pat := range plan.Patterns {
+		plan.Participants[ch.At(pat.WhiteBefore())] = true
+		plan.Participants[ch.At(pat.WhiteAfter())] = true
+		for j := 0; j < pat.Len; j++ {
+			plan.Participants[ch.At(pat.FirstBlack+j)] = true
+		}
+		if pat.Len > 1 && len(spikeWhites) > 0 {
+			tainted := false
+			for j := 0; j < pat.Len; j++ {
+				if spikeWhites[ch.At(pat.FirstBlack+j)] {
+					tainted = true
+					break
+				}
+			}
+			if tainted {
+				plan.Suppressed++
+				continue
+			}
+		}
+		plan.Executing = append(plan.Executing, pat)
+		for j := 0; j < pat.Len; j++ {
+			r := ch.At(pat.FirstBlack + j)
+			prev := plan.Hops[r]
+			if (pat.Hop.X != 0 && prev.X != 0) || (pat.Hop.Y != 0 && prev.Y != 0) {
+				return nil, fmt.Errorf("core: conflicting merge hops %v and %v on robot %d", prev, pat.Hop, r.ID)
+			}
+			plan.Hops[r] = prev.Add(pat.Hop)
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/grid"
+	"gridgather/internal/view"
+)
+
+// Algorithm executes the paper's gathering strategy on one chain. It owns
+// the run registry and advances the configuration one FSYNC round per Step
+// call, performing for every robot the three checks of Fig 15: merge, run
+// operations, and (every L-th round) run starts.
+type Algorithm struct {
+	cfg      Config
+	ch       *chain.Chain
+	runs     []*Run
+	byRobot  map[*chain.Robot][]*Run
+	round    int
+	nextRun  int
+	nextPair int
+
+	// anomalies accumulates defensive-path counts for the current round;
+	// Step moves them into the report.
+	anomalies Anomalies
+}
+
+// New creates an Algorithm for the chain with the given configuration.
+// The chain is owned by the algorithm afterwards.
+func New(ch *chain.Chain, cfg Config) (*Algorithm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ch.CheckEdges(); err != nil {
+		return nil, err
+	}
+	return &Algorithm{
+		cfg:     cfg,
+		ch:      ch,
+		byRobot: make(map[*chain.Robot][]*Run),
+	}, nil
+}
+
+// Chain exposes the simulated chain (read-only use expected).
+func (a *Algorithm) Chain() *chain.Chain { return a.ch }
+
+// Config returns the active configuration.
+func (a *Algorithm) Config() Config { return a.cfg }
+
+// Round returns the number of rounds executed so far.
+func (a *Algorithm) Round() int { return a.round }
+
+// Runs returns the currently active runs. The slice is shared; callers
+// must not mutate it.
+func (a *Algorithm) Runs() []*Run { return a.runs }
+
+// RunsOn implements view.RunLocator: the run states visible on a robot.
+// Runs started in the current round are not yet visible, matching FSYNC
+// semantics (they exist from the next look phase on).
+func (a *Algorithm) RunsOn(r *chain.Robot) []view.RunView {
+	rs := a.byRobot[r]
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]view.RunView, 0, len(rs))
+	for _, run := range rs {
+		if !run.justStarted {
+			out = append(out, view.RunView{Dir: run.Dir})
+		}
+	}
+	return out
+}
+
+// Gathered reports whether the configuration satisfies the termination
+// condition (all robots within a 2x2 square).
+func (a *Algorithm) Gathered() bool { return a.ch.Gathered() }
+
+// pendingStart is a run about to be created this round, with the pair
+// annotation filled in by pairStarts.
+type pendingStart struct {
+	robot *chain.Robot
+	idx   int
+	dir   int
+	kind  StartKind
+	pair  int
+	good  bool
+}
+
+// pairStarts identifies, for every pending run, the pending run started at
+// the other endpoint of the same quasi line moving towards it (its pair,
+// paper §3.2), and classifies the pair as good (Fig 12: the outer chain
+// neighbours of both endpoints lie on the same side of the line). The walk
+// uses the full chain — this is engine instrumentation for the Lemma 1/2
+// experiments, not information available to a robot; it never influences
+// behaviour.
+func (a *Algorithm) pairStarts(pending []pendingStart) {
+	if len(pending) < 2 {
+		return
+	}
+	n := a.ch.Len()
+	byKey := make(map[[2]int]int, len(pending)) // (idx, dir) -> pending slot
+	for i, p := range pending {
+		byKey[[2]int{p.idx, p.dir}] = i
+	}
+	for i := range pending {
+		p := &pending[i]
+		if p.pair >= 0 {
+			continue
+		}
+		// Walk the quasi line from the start robot in moving direction;
+		// the partner sits at its far end, moving back towards us. Use an
+		// unbounded view: the instrumentation may see the whole chain.
+		s := view.At(a.ch, p.idx, n-1, a)
+		endOff, ok := EndpointAhead(s, p.dir)
+		if !ok || endOff == 0 {
+			continue
+		}
+		endIdx := ((p.idx+p.dir*endOff)%n + n) % n
+		j, found := byKey[[2]int{endIdx, -p.dir}]
+		if !found || pending[j].pair >= 0 {
+			continue
+		}
+		q := &pending[j]
+		id := a.nextPair
+		a.nextPair++
+		p.pair, q.pair = id, id
+		// Good pair: equal perpendicular offsets of the outer neighbours.
+		outerP := a.ch.Pos(p.idx - p.dir).Sub(a.ch.Pos(p.idx))
+		outerQ := a.ch.Pos(endIdx + p.dir).Sub(a.ch.Pos(endIdx))
+		p.good = outerP == outerQ
+		q.good = p.good
+	}
+}
+
+// InjectRun places a run on the robot at chain index idx moving in
+// direction dir (+1/-1). It exists for scenario tests and experiments that
+// reproduce the paper's figures with hand-placed runs; the paper's
+// algorithm only creates runs through the Fig 5 start patterns. The run
+// acts from the next Step call on.
+func (a *Algorithm) InjectRun(idx, dir int) *Run {
+	host := a.ch.At(idx)
+	run := &Run{
+		ID:         a.nextRun,
+		Host:       host,
+		Dir:        dir,
+		StartRound: a.round,
+		Kind:       StartStairway,
+	}
+	a.nextRun++
+	a.runs = append(a.runs, run)
+	a.byRobot[host] = append(a.byRobot[host], run)
+	return run
+}
+
+// Step executes one synchronous round and reports what happened. Stepping
+// a gathered configuration is a no-op that reports Gathered.
+func (a *Algorithm) Step() (RoundReport, error) {
+	rep := RoundReport{Round: a.round}
+	if a.ch.Gathered() {
+		rep.ChainLen = a.ch.Len()
+		rep.Gathered = true
+		return rep, nil
+	}
+	a.anomalies = Anomalies{}
+
+	// ---- Look & compute -------------------------------------------------
+	// 1. Merge patterns (Fig 15 step 1). Participants suspend run
+	//    operations; blacks hop towards the whites.
+	plan, err := PlanMerges(a.ch, a.cfg.MaxMergeLen)
+	if err != nil {
+		return rep, err
+	}
+	rep.MergePatterns = len(plan.Patterns)
+
+	// 2. Run operations (Fig 15 step 2), decided against the frozen
+	//    look-phase state for every active run. All newly-started flags
+	//    clear before any decision: runs created in the same earlier round
+	//    become visible to each other simultaneously (FSYNC symmetry).
+	for _, run := range a.runs {
+		run.justStarted = false
+	}
+	decisions := make([]runDecision, 0, len(a.runs))
+	for _, run := range a.runs {
+		decisions = append(decisions, a.computeRunDecision(run, plan))
+	}
+
+	// 3. Run starts (Fig 15 step 3): every L-th round, robots matching the
+	//    Fig 5 patterns start runs, unless they take part in a merge.
+	var (
+		pending   []pendingStart
+		startHops = make(map[*chain.Robot]grid.Vec)
+	)
+	if !a.cfg.DisableRunStarts &&
+		a.round%a.cfg.RunPeriod == 0 && a.ch.Len() >= MinChainForRuns &&
+		(!a.cfg.SequentialRuns || len(a.runs) == 0) {
+		for i := 0; i < a.ch.Len(); i++ {
+			r := a.ch.At(i)
+			if plan.Participants[r] {
+				continue
+			}
+			s := view.At(a.ch, i, a.cfg.ViewingPathLength, a)
+			spec, ok := DetectStart(s)
+			if !ok {
+				continue
+			}
+			if len(a.byRobot[r])+len(spec.Dirs) > 2 {
+				continue // a robot stores at most two run states
+			}
+			for _, dir := range spec.Dirs {
+				pending = append(pending, pendingStart{
+					robot: r, idx: i, dir: dir, kind: spec.Kind, pair: -1,
+				})
+			}
+			if !spec.Hop.IsZero() {
+				startHops[r] = spec.Hop
+			}
+		}
+		a.pairStarts(pending)
+	}
+
+	// ---- Move -----------------------------------------------------------
+	// Collect all hops; apply simultaneously. A robot receives at most one
+	// hop source: merge participants have no active run decisions or
+	// starts, runner/start hops collide only in anomalous situations,
+	// where both are suppressed.
+	hops := make(map[*chain.Robot]grid.Vec, len(plan.Hops))
+	for r, h := range plan.Hops {
+		hops[r] = h
+	}
+	rep.MergeHops = len(plan.Hops)
+	runnerHopped := make(map[*chain.Robot]bool)
+	for i := range decisions {
+		d := &decisions[i]
+		if d.terminate || d.hop.IsZero() {
+			continue
+		}
+		r := d.run.Host
+		if _, dup := hops[r]; dup || runnerHopped[r] {
+			a.anomalies.HopConflicts++
+			if runnerHopped[r] {
+				delete(hops, r)
+			}
+			continue
+		}
+		hops[r] = d.hop
+		runnerHopped[r] = true
+		rep.RunnerHops++
+	}
+	for r, h := range startHops {
+		if _, dup := hops[r]; dup {
+			a.anomalies.HopConflicts++
+			continue
+		}
+		hops[r] = h
+		rep.StartHops++
+	}
+	for r, h := range hops {
+		if !h.IsKingStep() {
+			return rep, fmt.Errorf("core: robot %d would hop %v (not a king step)", r.ID, h)
+		}
+		r.Pos = r.Pos.Add(h)
+	}
+	if err := a.ch.CheckEdges(); err != nil {
+		return rep, fmt.Errorf("core: chain broke in round %d: %w", a.round, err)
+	}
+
+	// ---- Merge resolution ------------------------------------------------
+	events := a.ch.ResolveMerges()
+	rep.MergeEvents = events
+	survivorOf := make(map[*chain.Robot]*chain.Robot, len(events))
+	for _, ev := range events {
+		survivorOf[ev.Removed] = ev.Survivor
+	}
+	resolveAlive := func(r *chain.Robot) *chain.Robot {
+		for hops := 0; r != nil && !a.ch.Contains(r); hops++ {
+			if hops > len(events) {
+				return nil
+			}
+			r = survivorOf[r]
+		}
+		return r
+	}
+
+	// ---- Apply run decisions ----------------------------------------------
+	alive := a.runs[:0]
+	for i := range decisions {
+		d := &decisions[i]
+		run := d.run
+		if d.terminate {
+			rep.Ends = append(rep.Ends, EndEvent{
+				RunID: run.ID, Reason: d.reason,
+				RobotID: run.Host.ID, MergeRobot: d.mergeRobot,
+			})
+			if d.reason == TermStuck {
+				a.anomalies.StuckRuns++
+			}
+			continue
+		}
+		next := resolveAlive(d.advanceTo)
+		if next == nil {
+			rep.Ends = append(rep.Ends, EndEvent{
+				RunID: run.ID, Reason: TermStuck,
+				RobotID: run.Host.ID, MergeRobot: -1,
+			})
+			a.anomalies.LostAdvance++
+			continue
+		}
+		run.Host = next
+		run.Mode = d.newMode
+		run.TraverseLeft = d.newTraverseLeft
+		run.OpOrigin = d.newOpOrigin
+		run.OpTarget = d.newOpTarget
+		run.PassTarget = d.newPassTarget
+		run.PassBudget = d.newPassBudget
+		if run.Mode == ModePassing && run.Host == run.PassTarget {
+			// Arrived at the passing target corner: resume normal
+			// operation (Fig 8 "afterwards, they return to normal").
+			run.Mode = ModeNormal
+			run.PassTarget = nil
+			run.PassBudget = 0
+		}
+		alive = append(alive, run)
+	}
+	a.runs = alive
+
+	// Materialise run starts. The starting robots never take part in a
+	// merge (excluded above), so they are still on the chain; resolveAlive
+	// is a defensive guard only.
+	for _, ps := range pending {
+		r := resolveAlive(ps.robot)
+		if r == nil {
+			continue
+		}
+		run := &Run{
+			ID:          a.nextRun,
+			Host:        r,
+			Dir:         ps.dir,
+			StartRound:  a.round,
+			Kind:        ps.kind,
+			justStarted: true,
+		}
+		a.nextRun++
+		if ps.kind == StartCorner {
+			run.Mode = ModeTraverse
+			run.TraverseLeft = OpCTraverse
+			run.OpOrigin = r
+			// The next corner after the corner cut is the immediate
+			// neighbour in moving direction.
+			idx := a.ch.IndexOf(r)
+			if idx >= 0 {
+				run.OpTarget = a.ch.At(idx + ps.dir)
+			}
+		}
+		a.runs = append(a.runs, run)
+		rep.Starts = append(rep.Starts, StartEvent{
+			RunID: run.ID, RobotID: r.ID, Dir: ps.dir, Kind: ps.kind,
+			Pair: ps.pair, Good: ps.good,
+		})
+	}
+
+	// Rebuild the run registry and audit occupancy.
+	a.byRobot = make(map[*chain.Robot][]*Run, len(a.runs))
+	for _, run := range a.runs {
+		a.byRobot[run.Host] = append(a.byRobot[run.Host], run)
+	}
+	for _, rs := range a.byRobot {
+		if len(rs) > 2 {
+			a.anomalies.TripleOccupancy++
+		}
+	}
+
+	rep.ActiveRuns = len(a.runs)
+	rep.ChainLen = a.ch.Len()
+	rep.Gathered = a.ch.Gathered()
+	rep.Anomalies = a.anomalies
+	a.round++
+	return rep, nil
+}

@@ -1,0 +1,22 @@
+package generate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNamedSizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range Names() {
+		for _, size := range []int{128, 512, 2048} {
+			c, err := Named(name, size, rng)
+			if err != nil {
+				t.Fatalf("%s %d: %v", name, size, err)
+			}
+			ratio := float64(c.Len()) / float64(size)
+			if ratio < 0.3 || ratio > 3.0 {
+				t.Errorf("%s size=%d: n=%d (ratio %.2f) — sizing off", name, size, c.Len(), ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"gridgather/internal/core"
+)
+
+// PairRecord follows one run pair (two runs started simultaneously at the
+// endpoints of one quasi line, paper §3.2) from start to resolution. It is
+// the unit of accounting of Lemmas 1 and 2.
+type PairRecord struct {
+	ID         int
+	StartRound int
+	// Good: the outer neighbours of the pair's endpoints lie on the same
+	// side (Fig 12) — good pairs enable merges.
+	Good bool
+	// Progress: a good pair started while no merge had happened during
+	// the previous L-1 rounds nor in the start round (paper §5: such
+	// pairs carry the progress argument of Theorem 1).
+	Progress bool
+	// MergeRound is the round in which a run of this pair terminated as a
+	// merge participant (-1 if none yet); MergeKey identifies that merge
+	// pattern (round, first-black robot ID) for the distinctness claim of
+	// Lemma 2.b.
+	MergeRound int
+	MergeKey   [2]int
+	// EndsSeen counts terminated member runs (resolved at 2).
+	EndsSeen int
+}
+
+// PairStats aggregates the pair accounting of one simulation.
+type PairStats struct {
+	PairsStarted int
+	GoodPairs    int
+	// ProgressPairs counts progress pairs; ProgressMerged those that
+	// enabled a merge (Lemma 2.a predicts all of them, given enough
+	// rounds); ProgressUnresolved those still alive at gathering time
+	// (they never got the n rounds the lemma grants them).
+	ProgressPairs      int
+	ProgressMerged     int
+	ProgressUnresolved int
+	// CreditConflicts counts distinct progress pairs whose merge credit
+	// collided on the same merge pattern — Lemma 2.b predicts zero.
+	CreditConflicts int
+	// Lemma1Windows counts run-start rounds on a large-enough chain;
+	// Lemma1Violations counts windows with neither a merge in the
+	// preceding L rounds nor a new good pair — Lemma 1 predicts zero.
+	Lemma1Windows    int
+	Lemma1Violations int
+}
+
+// pairTracker consumes round reports and maintains the accounting.
+type pairTracker struct {
+	period    int
+	minChain  int
+	pairs     map[int]*PairRecord
+	runToPair map[int]*PairRecord
+	creditors map[[2]int]int // merge key -> pair ID of first creditor
+	lastMerge int            // round of the most recent merge, -1 initially
+	stats     PairStats
+}
+
+func newPairTracker(period int) *pairTracker {
+	return &pairTracker{
+		period:    period,
+		minChain:  core.MinChainForRuns,
+		pairs:     make(map[int]*PairRecord),
+		runToPair: make(map[int]*PairRecord),
+		creditors: make(map[[2]int]int),
+		lastMerge: -1,
+	}
+}
+
+// observe processes one round report. chainLenBefore is the chain length
+// at the start of the round (run starts are gated on it).
+func (t *pairTracker) observe(rep core.RoundReport, chainLenBefore int) {
+	round := rep.Round
+	mergedNow := rep.Merges() > 0
+	// "No merge during the last L-1 rounds and the current one".
+	mergeFree := !mergedNow && (t.lastMerge == -1 || round-t.lastMerge >= t.period)
+
+	goodStarted := false
+	seen := map[int]bool{}
+	for _, s := range rep.Starts {
+		if s.Pair < 0 {
+			continue
+		}
+		rec, ok := t.pairs[s.Pair]
+		if !ok {
+			rec = &PairRecord{
+				ID:         s.Pair,
+				StartRound: round,
+				Good:       s.Good,
+				Progress:   s.Good && mergeFree,
+				MergeRound: -1,
+			}
+			t.pairs[s.Pair] = rec
+			t.stats.PairsStarted++
+			if rec.Good {
+				t.stats.GoodPairs++
+				goodStarted = true
+			}
+			if rec.Progress {
+				t.stats.ProgressPairs++
+			}
+		}
+		if !seen[s.RunID] {
+			t.runToPair[s.RunID] = rec
+			seen[s.RunID] = true
+		}
+	}
+
+	// Lemma 1 audit at run-start rounds on large enough, ungathered
+	// chains: a merge within the window or a new good pair.
+	if round%t.period == 0 && chainLenBefore >= t.minChain && !rep.Gathered {
+		t.stats.Lemma1Windows++
+		if mergeFree && !goodStarted {
+			t.stats.Lemma1Violations++
+		}
+	}
+
+	for _, e := range rep.Ends {
+		rec, ok := t.runToPair[e.RunID]
+		if !ok {
+			continue
+		}
+		rec.EndsSeen++
+		if e.Reason == core.TermMerge && rec.MergeRound < 0 {
+			rec.MergeRound = round
+			rec.MergeKey = [2]int{round, e.MergeRobot}
+			if rec.Progress {
+				t.stats.ProgressMerged++
+				if first, dup := t.creditors[rec.MergeKey]; dup && first != rec.ID {
+					t.stats.CreditConflicts++
+				} else {
+					t.creditors[rec.MergeKey] = rec.ID
+				}
+			}
+		}
+	}
+
+	if mergedNow {
+		t.lastMerge = round
+	}
+}
+
+// finish computes the end-of-simulation statistics.
+func (t *pairTracker) finish() PairStats {
+	for _, rec := range t.pairs {
+		if rec.Progress && rec.MergeRound < 0 {
+			t.stats.ProgressUnresolved++
+		}
+	}
+	return t.stats
+}

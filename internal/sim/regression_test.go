@@ -1,0 +1,144 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/generate"
+	"gridgather/internal/grid"
+	"gridgather/internal/sim"
+)
+
+// TestRegressionDoubledColumnOscillator pins the degenerate configuration
+// that exposed the cyclic-overlap gap in the paper's merge rules: a doubled
+// column whose two tips point to the same side. Every merge pattern's
+// whites are simultaneously blacks of another pattern, so without the
+// spike-priority rule (DESIGN.md §3.1) all hops miss and the configuration
+// mirrors forever. With the rule, the tip spikes merge and the chain zips.
+func TestRegressionDoubledColumnOscillator(t *testing.T) {
+	ps := []grid.Vec{
+		grid.V(0, 0), grid.V(-1, 0), grid.V(-1, -1), grid.V(-1, -2),
+		grid.V(-1, -3), grid.V(0, -3), grid.V(-1, -3), grid.V(-1, -2),
+		grid.V(-1, -1), grid.V(-1, 0),
+	}
+	ch, err := chain.New(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Gather(ch, sim.Options{CheckInvariants: true, MaxRounds: 100})
+	if err != nil {
+		t.Fatalf("oscillator regression: %v", err)
+	}
+	if !res.Gathered {
+		t.Fatal("doubled column with same-side tips must gather")
+	}
+	if res.Rounds > 12 {
+		t.Errorf("zipping should be fast, took %d rounds", res.Rounds)
+	}
+}
+
+// TestRegressionDoubledColumnVariants sweeps doubled columns of several
+// heights and tip orientations (same side and opposite sides).
+func TestRegressionDoubledColumnVariants(t *testing.T) {
+	// build returns the doubled column: tip1, the column top to bottom,
+	// tip2, the column bottom to top (both passes include both ends, so
+	// n = 2*height + 4, always even).
+	build := func(height int, tip1, tip2 grid.Vec) []grid.Vec {
+		var ps []grid.Vec
+		ps = append(ps, grid.V(0, 0).Add(tip1))
+		for y := 0; y >= -height; y-- {
+			ps = append(ps, grid.V(0, y))
+		}
+		ps = append(ps, grid.V(0, -height).Add(tip2))
+		for y := -height; y <= 0; y++ {
+			ps = append(ps, grid.V(0, y))
+		}
+		return ps
+	}
+	for _, height := range []int{3, 5, 9} {
+		for _, tips := range [][2]grid.Vec{
+			{grid.East, grid.East},
+			{grid.East, grid.West},
+			{grid.West, grid.East},
+		} {
+			ps := build(height, tips[0], tips[1])
+			ch, err := chain.New(ps)
+			if err != nil {
+				t.Fatalf("height %d tips %v: bad construction: %v", height, tips, err)
+			}
+			res, err := sim.Gather(ch, sim.Options{CheckInvariants: true, MaxRounds: 400})
+			if err != nil {
+				t.Errorf("height %d tips %v: %v", height, tips, err)
+				continue
+			}
+			if !res.Gathered {
+				t.Errorf("height %d tips %v: not gathered", height, tips)
+			}
+		}
+	}
+}
+
+// TestRegressionSmallMergelessRings pins the interaction of condition 1
+// with small rings: on an s x s ring with 10 <= s, same-direction runs on
+// neighbouring sides are visible to each other across the corners. The
+// sequent-run check must stop at the quasi-line endpoint (the paper's
+// "sequent" is a same-line notion), otherwise all runs terminate on sight
+// and the ring deadlocks.
+func TestRegressionSmallMergelessRings(t *testing.T) {
+	for s := 10; s <= 14; s++ {
+		ch, err := generate.Rectangle(s, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
+		if err != nil {
+			t.Errorf("square %d: %v", s, err)
+			continue
+		}
+		if !res.Gathered {
+			t.Errorf("square %d: not gathered", s)
+		}
+	}
+}
+
+// TestRegressionReducedMergeLengthOctagon pins the k < V-1 ablation
+// behaviour: with merge length 6 the square's intermediate octagon ring
+// (sides of 9) has no merge pattern, and gathering must proceed through
+// runs whose sequent check is line-bounded.
+func TestRegressionReducedMergeLengthOctagon(t *testing.T) {
+	for _, k := range []int{4, 6, 8} {
+		ch, err := generate.Rectangle(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Options{CheckInvariants: true}
+		cfg.Config.ViewingPathLength = 11
+		cfg.Config.RunPeriod = 13
+		cfg.Config.MaxMergeLen = k
+		res, err := sim.Gather(ch, cfg)
+		if err != nil {
+			t.Errorf("k=%d: %v", k, err)
+			continue
+		}
+		if !res.Gathered {
+			t.Errorf("k=%d: not gathered", k)
+		}
+	}
+}
+
+// TestRegressionDoubledPathsHeavy soaks the doubled-path family, which
+// produces the densest pattern overlaps.
+func TestRegressionDoubledPathsHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 60; trial++ {
+		m := 3 + rng.Intn(60)
+		ch, err := generate.DoubledPath(m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Gather(ch, sim.Options{CheckInvariants: true}); err != nil {
+			t.Fatalf("doubled path m=%d trial=%d: %v", m, trial, err)
+		}
+	}
+}

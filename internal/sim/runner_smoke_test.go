@@ -1,0 +1,47 @@
+package sim_test
+
+import (
+	"testing"
+
+	"gridgather/internal/generate"
+)
+
+// Large squares have no merge pattern anywhere (all sides exceed the
+// detectable merge length), so gathering must be driven entirely by runs:
+// this exercises the paper's core machinery end to end.
+func TestSmokeLargeSquare(t *testing.T) {
+	for _, side := range []int{20, 40, 60} {
+		ch, err := generate.Rectangle(side, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := gatherOrFail(t, "square", ch)
+		t.Logf("square %dx%d: n=%d rounds=%d (%.2f/robot) merges=%d runs=%d ends=%v anomalies=%+v",
+			side, side, res.InitialLen, res.Rounds, res.RoundsPerRobot(),
+			res.TotalMerges, res.TotalRunsStarted, res.EndsByReason, res.Anomalies)
+	}
+}
+
+func TestSmokeLargeSpiral(t *testing.T) {
+	for _, w := range []int{5, 8} {
+		ch, err := generate.Spiral(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := gatherOrFail(t, "spiral", ch)
+		t.Logf("spiral(%d): n=%d rounds=%d (%.2f/robot) merges=%d runs=%d anomalies=%+v",
+			w, res.InitialLen, res.Rounds, res.RoundsPerRobot(),
+			res.TotalMerges, res.TotalRunsStarted, res.Anomalies)
+	}
+}
+
+func TestSmokeSerpentine(t *testing.T) {
+	ch, err := generate.Serpentine(6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := gatherOrFail(t, "serpentine", ch)
+	t.Logf("serpentine: n=%d rounds=%d (%.2f/robot) merges=%d runs=%d anomalies=%+v",
+		res.InitialLen, res.Rounds, res.RoundsPerRobot(),
+		res.TotalMerges, res.TotalRunsStarted, res.Anomalies)
+}

@@ -1,0 +1,286 @@
+// Package sim drives the core algorithm round by round: it owns the
+// watchdog that operationalises Theorem 1 (gathering must finish in O(n)
+// rounds), the per-round safety invariant checks, aggregate metrics, and
+// observer hooks used by tracing and by the experiment harness.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/grid"
+)
+
+// Default watchdog parameters. Theorem 1 bounds gathering by 2nL + n
+// rounds (~27n for L = 13); the default allows a generous constant so the
+// watchdog only fires on genuine liveness failures.
+const (
+	DefaultWatchdogFactor = 60
+	DefaultWatchdogSlack  = 400
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Config is the algorithm parameter set; zero value means defaults.
+	Config core.Config
+	// MaxRounds overrides the watchdog limit when positive; otherwise the
+	// limit is WatchdogFactor*n + WatchdogSlack.
+	MaxRounds int
+	// WatchdogFactor/WatchdogSlack tune the default limit; zero values
+	// fall back to the package defaults.
+	WatchdogFactor int
+	WatchdogSlack  int
+	// CheckInvariants enables the per-round safety checks (edge validity
+	// is always enforced by core; this adds the post-merge and movement
+	// checks). Costs O(n) per round.
+	CheckInvariants bool
+	// Observer, when non-nil, is invoked after every round.
+	Observer Observer
+}
+
+// Observer receives the chain state after each executed round. The chain
+// must be treated as read-only.
+type Observer interface {
+	OnRound(ch *chain.Chain, rep core.RoundReport)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ch *chain.Chain, rep core.RoundReport)
+
+// OnRound implements Observer.
+func (f ObserverFunc) OnRound(ch *chain.Chain, rep core.RoundReport) { f(ch, rep) }
+
+// Result aggregates a finished (or aborted) simulation.
+type Result struct {
+	// Rounds is the number of rounds executed until gathering.
+	Rounds int
+	// InitialLen and FinalLen are the chain lengths before and after.
+	InitialLen int
+	FinalLen   int
+	// InitialDiameter is the LInf diameter of the start configuration,
+	// the paper's lower-bound witness.
+	InitialDiameter int
+	// Gathered reports success (false only when an error aborted the run).
+	Gathered bool
+
+	// Totals over the whole simulation.
+	TotalMerges      int
+	TotalMergeRounds int // rounds in which at least one merge happened
+	TotalRunsStarted int
+	TotalRunnerHops  int
+	TotalMergeHops   int
+	TotalStartHops   int
+	StartsByKind     map[core.StartKind]int
+	EndsByReason     map[core.TerminateReason]int
+	MaxActiveRuns    int
+	LongestMergeGap  int // longest streak of rounds without a merge
+	Anomalies        core.Anomalies
+
+	// Pairs carries the run-pair accounting backing the Lemma 1 and
+	// Lemma 2 experiments (see internal/sim/instrument.go).
+	Pairs PairStats
+}
+
+// RoundsPerRobot returns Rounds / InitialLen, the empirical constant of
+// Theorem 1.
+func (r Result) RoundsPerRobot() float64 {
+	if r.InitialLen == 0 {
+		return 0
+	}
+	return float64(r.Rounds) / float64(r.InitialLen)
+}
+
+// Watchdog and invariant errors.
+var (
+	ErrWatchdog  = errors.New("sim: watchdog expired before gathering (liveness failure)")
+	ErrInvariant = errors.New("sim: safety invariant violated")
+)
+
+// Engine wraps a core.Algorithm with checking and accounting.
+type Engine struct {
+	alg     *core.Algorithm
+	opts    Options
+	res     Result
+	tracker *pairTracker
+
+	mergeGap int
+	prevPos  map[*chain.Robot]grid.Vec
+}
+
+// NewEngine builds an engine for the chain. The chain is owned by the
+// engine afterwards.
+func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
+	if opts.Config == (core.Config{}) {
+		opts.Config = core.DefaultConfig()
+	}
+	if opts.WatchdogFactor <= 0 {
+		opts.WatchdogFactor = DefaultWatchdogFactor
+	}
+	if opts.WatchdogSlack <= 0 {
+		opts.WatchdogSlack = DefaultWatchdogSlack
+	}
+	alg, err := core.New(ch, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{alg: alg, opts: opts, tracker: newPairTracker(opts.Config.RunPeriod)}
+	e.res = Result{
+		InitialLen:      ch.Len(),
+		InitialDiameter: ch.Diameter(),
+		StartsByKind:    make(map[core.StartKind]int),
+		EndsByReason:    make(map[core.TerminateReason]int),
+	}
+	return e, nil
+}
+
+// Algorithm exposes the wrapped algorithm (for instrumentation).
+func (e *Engine) Algorithm() *core.Algorithm { return e.alg }
+
+// Chain exposes the simulated chain.
+func (e *Engine) Chain() *chain.Chain { return e.alg.Chain() }
+
+// Result returns the accounting so far.
+func (e *Engine) Result() Result { return e.res }
+
+// limit returns the watchdog bound for this simulation.
+func (e *Engine) limit() int {
+	if e.opts.MaxRounds > 0 {
+		return e.opts.MaxRounds
+	}
+	return e.opts.WatchdogFactor*e.res.InitialLen + e.opts.WatchdogSlack
+}
+
+// Step executes one round. It returns true while the simulation should
+// continue (not yet gathered).
+func (e *Engine) Step() (bool, error) {
+	if e.alg.Gathered() {
+		e.res.Gathered = true
+		return false, nil
+	}
+	if e.alg.Round() >= e.limit() {
+		return false, fmt.Errorf("%w: %d rounds, n=%d, still %d robots in %v",
+			ErrWatchdog, e.alg.Round(), e.res.InitialLen, e.Chain().Len(), e.Chain().Bounds())
+	}
+	if e.opts.CheckInvariants {
+		e.snapshotPositions()
+	}
+	lenBefore := e.Chain().Len()
+	rep, err := e.alg.Step()
+	if err != nil {
+		return false, err
+	}
+	e.account(rep)
+	e.tracker.observe(rep, lenBefore)
+	if e.opts.CheckInvariants {
+		if err := e.checkInvariants(rep); err != nil {
+			return false, err
+		}
+	}
+	if e.opts.Observer != nil {
+		e.opts.Observer.OnRound(e.Chain(), rep)
+	}
+	if rep.Gathered {
+		e.res.Gathered = true
+		return false, nil
+	}
+	return true, nil
+}
+
+// Run executes rounds until the chain gathers or an error occurs.
+func (e *Engine) Run() (Result, error) {
+	for {
+		cont, err := e.Step()
+		if err != nil {
+			e.res.Rounds = e.alg.Round()
+			e.res.Pairs = e.tracker.finish()
+			return e.res, err
+		}
+		if !cont {
+			e.res.Rounds = e.alg.Round()
+			e.res.FinalLen = e.Chain().Len()
+			e.res.Pairs = e.tracker.finish()
+			return e.res, nil
+		}
+	}
+}
+
+func (e *Engine) account(rep core.RoundReport) {
+	e.res.TotalMerges += rep.Merges()
+	if rep.Merges() > 0 {
+		e.res.TotalMergeRounds++
+		e.mergeGap = 0
+	} else {
+		e.mergeGap++
+		if e.mergeGap > e.res.LongestMergeGap {
+			e.res.LongestMergeGap = e.mergeGap
+		}
+	}
+	e.res.TotalRunsStarted += len(rep.Starts)
+	for _, s := range rep.Starts {
+		e.res.StartsByKind[s.Kind]++
+	}
+	for _, end := range rep.Ends {
+		e.res.EndsByReason[end.Reason]++
+	}
+	e.res.TotalRunnerHops += rep.RunnerHops
+	e.res.TotalMergeHops += rep.MergeHops
+	e.res.TotalStartHops += rep.StartHops
+	if rep.ActiveRuns > e.res.MaxActiveRuns {
+		e.res.MaxActiveRuns = rep.ActiveRuns
+	}
+	e.res.Anomalies.Add(rep.Anomalies)
+}
+
+func (e *Engine) snapshotPositions() {
+	ch := e.Chain()
+	e.prevPos = make(map[*chain.Robot]grid.Vec, ch.Len())
+	for _, r := range ch.Robots() {
+		e.prevPos[r] = r.Pos
+	}
+}
+
+// checkInvariants verifies the model's safety conditions after a round:
+// edges remain chain edges (core already guarantees this), no chain
+// neighbours stay co-located after merge resolution, every surviving robot
+// moved at most one king step, and run occupancy stays within bounds.
+func (e *Engine) checkInvariants(rep core.RoundReport) error {
+	ch := e.Chain()
+	if err := ch.CheckEdges(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvariant, err)
+	}
+	if err := ch.CheckNoZeroEdges(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvariant, err)
+	}
+	for _, r := range ch.Robots() {
+		prev, ok := e.prevPos[r]
+		if !ok {
+			return fmt.Errorf("%w: robot %d appeared from nowhere", ErrInvariant, r.ID)
+		}
+		if !r.Pos.Sub(prev).IsKingStep() {
+			return fmt.Errorf("%w: robot %d moved %v in one round", ErrInvariant, r.ID, r.Pos.Sub(prev))
+		}
+	}
+	occupancy := make(map[*chain.Robot]int)
+	for _, run := range e.alg.Runs() {
+		if !ch.Contains(run.Host) {
+			return fmt.Errorf("%w: run %d hosted on removed robot", ErrInvariant, run.ID)
+		}
+		occupancy[run.Host]++
+		if occupancy[run.Host] > 3 {
+			return fmt.Errorf("%w: robot %d hosts %d runs", ErrInvariant, run.Host.ID, occupancy[run.Host])
+		}
+	}
+	return nil
+}
+
+// Gather is the package-level convenience: simulate the chain to gathering
+// with the given options and return the result.
+func Gather(ch *chain.Chain, opts Options) (Result, error) {
+	e, err := NewEngine(ch, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}

@@ -1,0 +1,83 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/generate"
+	"gridgather/internal/sim"
+)
+
+// gatherOrFail runs a chain to gathering with invariants on and fails the
+// test with diagnostics if safety or liveness breaks.
+func gatherOrFail(t *testing.T, name string, ch *chain.Chain) sim.Result {
+	t.Helper()
+	n := ch.Len()
+	res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatalf("%s (n=%d): %v", name, n, err)
+	}
+	if !res.Gathered {
+		t.Fatalf("%s (n=%d): not gathered after %d rounds", name, n, res.Rounds)
+	}
+	return res
+}
+
+func TestSmokeRectangle(t *testing.T) {
+	ch, err := generate.Rectangle(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := gatherOrFail(t, "rectangle", ch)
+	t.Logf("rectangle 12x5: n=%d rounds=%d merges=%d runs=%d anomalies=%+v",
+		res.InitialLen, res.Rounds, res.TotalMerges, res.TotalRunsStarted, res.Anomalies)
+}
+
+func TestSmokeFlatRing(t *testing.T) {
+	ch, err := generate.Rectangle(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := gatherOrFail(t, "flatring", ch)
+	t.Logf("flatring 30x1: rounds=%d merges=%d", res.Rounds, res.TotalMerges)
+}
+
+func TestSmokeSpiral(t *testing.T) {
+	ch, err := generate.Spiral(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := gatherOrFail(t, "spiral", ch)
+	t.Logf("spiral(3): n=%d rounds=%d merges=%d runs=%d anomalies=%+v",
+		res.InitialLen, res.Rounds, res.TotalMerges, res.TotalRunsStarted, res.Anomalies)
+}
+
+func TestSmokeRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + 2*rng.Intn(60)
+		ch, err := generate.RandomClosedWalk(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := gatherOrFail(t, "walk", ch)
+		if trial < 3 {
+			t.Logf("walk n=%d: rounds=%d merges=%d runs=%d", n, res.Rounds, res.TotalMerges, res.TotalRunsStarted)
+		}
+	}
+}
+
+func TestSmokePolyominoes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		ch, err := generate.RandomPolyomino(10+rng.Intn(40), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := gatherOrFail(t, "polyomino", ch)
+		if trial < 3 {
+			t.Logf("polyomino n=%d: rounds=%d anomalies=%+v", res.InitialLen, res.Rounds, res.Anomalies)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"gridgather/internal/grid"
+)
+
+// ASCII renders a set of positions as a text grid. Cells show '#' for a
+// single robot, digits for small multiplicities, '+' for 10 or more, and
+// '.' for empty grid points within the bounding box.
+func ASCII(positions []grid.Vec) string {
+	if len(positions) == 0 {
+		return "(empty)\n"
+	}
+	box := grid.BoxOf(positions...)
+	counts := make(map[grid.Vec]int, len(positions))
+	for _, p := range positions {
+		counts[p]++
+	}
+	var b strings.Builder
+	for y := box.Max.Y; y >= box.Min.Y; y-- {
+		for x := box.Min.X; x <= box.Max.X; x++ {
+			switch c := counts[grid.V(x, y)]; {
+			case c == 0:
+				b.WriteByte('.')
+			case c == 1:
+				b.WriteByte('#')
+			case c < 10:
+				b.WriteByte(byte('0' + c))
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFrame renders one frame with a header line.
+func RenderFrame(f Frame) string {
+	head := fmt.Sprintf("round %d: n=%d merges=%d runs=%d\n",
+		f.Round, len(f.Positions), f.Merges, f.ActiveRuns)
+	if f.Round < 0 {
+		head = fmt.Sprintf("initial: n=%d\n", len(f.Positions))
+	}
+	return head + ASCII(f.Positions)
+}
+
+// RenderAll renders every recorded frame separated by blank lines.
+func RenderAll(frames []Frame) string {
+	var b strings.Builder
+	for i, f := range frames {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(RenderFrame(f))
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"gridgather/internal/grid"
+)
+
+// SVG renders frames as a single SVG image: each frame is a polyline of
+// the chain, colour-faded from the initial configuration (light) to the
+// final one (dark). scale is the pixel size of one grid unit.
+func SVG(frames []Frame, scale int) string {
+	if scale < 1 {
+		scale = 8
+	}
+	var box grid.Box
+	for _, f := range frames {
+		for _, p := range f.Positions {
+			box.Include(p)
+		}
+	}
+	if box.Empty() {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="1" height="1"/>`
+	}
+	margin := 1
+	w := (box.Width() + 2*margin) * scale
+	h := (box.Height() + 2*margin) * scale
+	tx := func(p grid.Vec) (int, int) {
+		return (p.X - box.Min.X + margin) * scale,
+			(box.Max.Y - p.Y + margin) * scale
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	for i, f := range frames {
+		if len(f.Positions) == 0 {
+			continue
+		}
+		// Fade from 80% grey (early) to black (late).
+		shade := 200
+		if len(frames) > 1 {
+			shade = 200 - 200*i/(len(frames)-1)
+		}
+		colour := fmt.Sprintf("rgb(%d,%d,%d)", shade, shade, shade)
+		var pts []string
+		for _, p := range f.Positions {
+			x, y := tx(p)
+			pts = append(pts, fmt.Sprintf("%d,%d", x, y))
+		}
+		// Close the chain loop.
+		x0, y0 := tx(f.Positions[0])
+		pts = append(pts, fmt.Sprintf("%d,%d", x0, y0))
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), colour)
+		for _, p := range f.Positions {
+			x, y := tx(p)
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="2" fill="%s"/>`+"\n", x, y, colour)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

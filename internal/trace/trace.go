@@ -1,0 +1,65 @@
+// Package trace records simulation runs round by round and renders them as
+// ASCII frames (for the CLI and debugging) or SVG (for figures). It plugs
+// into the engine through the sim.Observer interface.
+package trace
+
+import (
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/grid"
+)
+
+// Frame is one recorded round: positions in chain order plus the round's
+// headline numbers.
+type Frame struct {
+	Round      int
+	Positions  []grid.Vec
+	Merges     int
+	ActiveRuns int
+	RunHosts   []grid.Vec // positions of robots carrying runs
+}
+
+// Recorder collects frames; it implements sim.Observer.
+type Recorder struct {
+	// Every controls sampling: a frame is kept every Every rounds
+	// (default 1 = every round). The final round is always kept.
+	Every  int
+	frames []Frame
+	last   *Frame
+}
+
+// NewRecorder creates a recorder sampling every round.
+func NewRecorder() *Recorder { return &Recorder{Every: 1} }
+
+// OnRound implements the observer hook.
+func (r *Recorder) OnRound(ch *chain.Chain, rep core.RoundReport) {
+	f := Frame{
+		Round:      rep.Round,
+		Positions:  ch.Positions(),
+		Merges:     rep.Merges(),
+		ActiveRuns: rep.ActiveRuns,
+	}
+	r.last = &f
+	every := r.Every
+	if every < 1 {
+		every = 1
+	}
+	if rep.Round%every == 0 || rep.Gathered {
+		r.frames = append(r.frames, f)
+	}
+}
+
+// Frames returns the recorded frames. If the final round was not sampled
+// it is appended.
+func (r *Recorder) Frames() []Frame {
+	if r.last != nil && (len(r.frames) == 0 || r.frames[len(r.frames)-1].Round != r.last.Round) {
+		return append(append([]Frame{}, r.frames...), *r.last)
+	}
+	return r.frames
+}
+
+// InitialFrame records the starting configuration (round -1) so renderings
+// can include the input.
+func (r *Recorder) InitialFrame(ch *chain.Chain) {
+	r.frames = append(r.frames, Frame{Round: -1, Positions: ch.Positions()})
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/generate"
+	"gridgather/internal/grid"
+	"gridgather/internal/sim"
+)
+
+func TestASCIIRendering(t *testing.T) {
+	out := ASCII([]grid.Vec{grid.V(0, 0), grid.V(1, 0), grid.V(1, 1), grid.V(0, 1)})
+	want := "##\n##\n"
+	if out != want {
+		t.Errorf("ASCII = %q, want %q", out, want)
+	}
+}
+
+func TestASCIIMultiplicity(t *testing.T) {
+	pts := []grid.Vec{grid.V(0, 0), grid.V(0, 0), grid.V(2, 0)}
+	out := ASCII(pts)
+	if out != "2.#\n" {
+		t.Errorf("ASCII = %q", out)
+	}
+	var many []grid.Vec
+	for i := 0; i < 12; i++ {
+		many = append(many, grid.Zero)
+	}
+	if got := ASCII(many); got != "+\n" {
+		t.Errorf("ASCII = %q", got)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	if got := ASCII(nil); got != "(empty)\n" {
+		t.Errorf("ASCII(nil) = %q", got)
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	ch, err := generate.Rectangle(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	rec.Every = 5
+	rec.InitialFrame(ch)
+	res, err := sim.Gather(ch, sim.Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := rec.Frames()
+	if len(frames) < 3 {
+		t.Fatalf("too few frames: %d", len(frames))
+	}
+	if frames[0].Round != -1 {
+		t.Error("initial frame missing")
+	}
+	last := frames[len(frames)-1]
+	if last.Round != res.Rounds-1 {
+		t.Errorf("final frame round %d, want %d", last.Round, res.Rounds-1)
+	}
+	// Sampled frames respect the Every stride (excluding initial/final).
+	for _, f := range frames[1 : len(frames)-1] {
+		if f.Round%5 != 0 {
+			t.Errorf("frame at round %d violates sampling stride", f.Round)
+		}
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	f := Frame{Round: 3, Positions: []grid.Vec{grid.V(0, 0), grid.V(1, 0)}, Merges: 2, ActiveRuns: 1}
+	out := RenderFrame(f)
+	if !strings.Contains(out, "round 3") || !strings.Contains(out, "merges=2") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "##") {
+		t.Errorf("grid missing: %q", out)
+	}
+	init := RenderFrame(Frame{Round: -1, Positions: []grid.Vec{grid.Zero}})
+	if !strings.Contains(init, "initial") {
+		t.Errorf("initial header missing: %q", init)
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	frames := []Frame{
+		{Round: 0, Positions: []grid.Vec{grid.Zero}},
+		{Round: 1, Positions: []grid.Vec{grid.Zero}},
+	}
+	out := RenderAll(frames)
+	if strings.Count(out, "round") != 2 {
+		t.Errorf("expected two frames: %q", out)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	ch, err := generate.Rectangle(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	rec.Every = 2
+	rec.InitialFrame(ch)
+	if _, err := sim.Gather(ch, sim.Options{Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(rec.Frames(), 8)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != len(rec.Frames()) {
+		t.Errorf("polyline count %d != frames %d", strings.Count(svg, "<polyline"), len(rec.Frames()))
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	svg := SVG(nil, 8)
+	if !strings.Contains(svg, "<svg") {
+		t.Errorf("empty SVG malformed: %q", svg)
+	}
+}
+
+func TestRecorderObserverContract(t *testing.T) {
+	// The recorder must copy positions, not alias live robot state.
+	ch, err := chain.New([]grid.Vec{grid.V(0, 0), grid.V(1, 0), grid.V(1, 1), grid.V(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	rec.InitialFrame(ch)
+	ch.At(0).Pos = grid.V(50, 50)
+	if rec.Frames()[0].Positions[0] == grid.V(50, 50) {
+		t.Error("recorder aliases live positions")
+	}
+}

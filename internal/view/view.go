@@ -1,0 +1,171 @@
+// Package view implements the robots' restricted local vision.
+//
+// In the paper each robot sees only the subchain of its next V = 11 chain
+// neighbours in both directions (the "viewing path length"), as relative
+// positions, plus the run states those neighbours carry (run-state
+// visibility along the chain is what the paper's termination condition
+// "it can see the next sequent run in front of it" relies on).
+//
+// A Snapshot is a window onto the chain centred at one robot. It engineers
+// the locality discipline: any attempt to look past the viewing path length
+// panics, so unit tests immediately catch rules that are not local.
+// Snapshots expose relative positions only; absolute coordinates and robot
+// identities are not part of the observable interface used by decision
+// rules (the Robot accessor exists solely for the engine's bookkeeping of
+// run ownership, which stands in for a robot tracking a neighbour one step
+// away — see DESIGN.md §3.5).
+package view
+
+import (
+	"fmt"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/grid"
+)
+
+// RunView is the externally visible part of a run state carried by a robot:
+// its moving direction along the chain. Directions are +1 (increasing chain
+// index) or -1; an observer compares them against its own viewing direction,
+// so no global orientation is implied.
+type RunView struct {
+	Dir int
+}
+
+// RunLocator reports the run states visible on a robot. The engine's run
+// registry implements it; tests may substitute fakes.
+type RunLocator interface {
+	RunsOn(r *chain.Robot) []RunView
+}
+
+// EmptyRuns is a RunLocator with no runs anywhere.
+type EmptyRuns struct{}
+
+// RunsOn implements RunLocator.
+func (EmptyRuns) RunsOn(*chain.Robot) []RunView { return nil }
+
+// Snapshot is one robot's view of the chain: the robots at chain offsets
+// -V..+V relative to itself. Offsets wrap around the closed chain, so on a
+// short chain the same robot can appear at several offsets, exactly as a
+// robot with local vision would perceive it.
+type Snapshot struct {
+	ch     *chain.Chain
+	center int
+	v      int
+	runs   RunLocator
+}
+
+// At builds the snapshot of the robot at index center with viewing path
+// length v. runs may be nil when run states are irrelevant.
+func At(ch *chain.Chain, center, v int, runs RunLocator) Snapshot {
+	if runs == nil {
+		runs = EmptyRuns{}
+	}
+	return Snapshot{ch: ch, center: center, v: v, runs: runs}
+}
+
+// V returns the viewing path length.
+func (s Snapshot) V() int { return s.v }
+
+// check panics when an offset outside the viewing range is requested —
+// that would be a non-local rule, which the model forbids.
+func (s Snapshot) check(k int) {
+	if k < -s.v || k > s.v {
+		panic(fmt.Sprintf("view: offset %d outside viewing path length %d (non-local rule)", k, s.v))
+	}
+}
+
+// Rel returns the position of the robot at chain offset k relative to the
+// observing robot. Rel(0) is always the zero vector.
+func (s Snapshot) Rel(k int) grid.Vec {
+	s.check(k)
+	return s.ch.Pos(s.center + k).Sub(s.ch.Pos(s.center))
+}
+
+// Edge returns the displacement from the robot at offset k to the robot at
+// offset k+sign(step towards)… specifically Edge(k, d) = Rel(k+d) - Rel(k)
+// for d = +-1: the chain edge leaving offset k in direction d.
+func (s Snapshot) Edge(k, d int) grid.Vec {
+	return s.Rel(k + d).Sub(s.Rel(k))
+}
+
+// Runs returns the run states visible on the robot at offset k.
+func (s Snapshot) Runs(k int) []RunView {
+	s.check(k)
+	return s.runs.RunsOn(s.ch.At(s.center + k))
+}
+
+// HasRunTowards reports whether the robot at offset k carries a run whose
+// moving direction points towards the observer (i.e. opposite to the sign
+// of k). For k = 0 it reports false.
+func (s Snapshot) HasRunTowards(k int) bool {
+	if k == 0 {
+		return false
+	}
+	want := -sign(k)
+	for _, r := range s.Runs(k) {
+		if r.Dir == want {
+			return true
+		}
+	}
+	return false
+}
+
+// HasRunAway reports whether the robot at offset k carries a run moving
+// away from the observer (same sign as k).
+func (s Snapshot) HasRunAway(k int) bool {
+	if k == 0 {
+		return false
+	}
+	want := sign(k)
+	for _, r := range s.Runs(k) {
+		if r.Dir == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Robot exposes the underlying robot at offset k for engine bookkeeping
+// (run ownership hand-off and merge invalidation). Decision rules must not
+// use robot identity; see the package comment.
+func (s Snapshot) Robot(k int) *chain.Robot {
+	s.check(k)
+	return s.ch.At(s.center + k)
+}
+
+// ChainLen returns the current chain length. A robot does not know n, but
+// the snapshot uses it to recognise wrap-around in tests; rules must not
+// branch on it beyond guarding degenerate tiny chains, which is equivalent
+// to seeing one's own chain close within the viewing range.
+func (s Snapshot) ChainLen() int { return s.ch.Len() }
+
+// AlignedAhead returns the number of robots j >= 1 such that the robots at
+// offsets 0, d, 2d, …, jd form a straight segment of identical unit edges
+// (the "next j robots on a straight line" of the paper's run operations).
+// It scans at most the viewing range and at most ChainLen()-1 robots.
+func (s Snapshot) AlignedAhead(d int) int {
+	first := s.Edge(0, d)
+	if !first.IsAxisUnit() {
+		return 0
+	}
+	count := 1
+	maxScan := min(s.v, s.ChainLen()-1)
+	for j := 1; j < maxScan; j++ {
+		if s.Edge(j*d, d) != first {
+			break
+		}
+		count++
+	}
+	return count
+}
+
+func sign(k int) int {
+	switch {
+	case k > 0:
+		return 1
+	case k < 0:
+		return -1
+	default:
+		return 0
+	}
+}
