@@ -13,6 +13,7 @@ import (
 	gridgather "gridgather"
 	"gridgather/internal/baseline"
 	"gridgather/internal/core"
+	"gridgather/internal/experiments"
 	"gridgather/internal/generate"
 	"gridgather/internal/grid"
 	"gridgather/internal/sim"
@@ -318,6 +319,32 @@ func BenchmarkBaselines(b *testing.B) {
 		}
 		b.ReportMetric(float64(rounds), "rounds")
 	})
+}
+
+// BenchmarkParallelHarness — the experiment harness's worker pool
+// (DESIGN.md §5) on the E1 grid at increasing worker counts, reporting
+// task throughput. On a multi-core machine tasks/s should scale with the
+// worker count up to GOMAXPROCS; tables stay bit-identical throughout
+// (the pool's determinism contract, tested in internal/experiments).
+func BenchmarkParallelHarness(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := experiments.Params{Seed: 1, Trials: 2, Sizes: []int{64, 128}, Parallel: workers}
+			var tasks int
+			for i := 0; i < b.N; i++ {
+				o, err := experiments.E1Theorem1(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tasks = o.Tasks
+			}
+			b.ReportMetric(float64(tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
 }
 
 // BenchmarkSnapshot — the substrate cost of building local views.

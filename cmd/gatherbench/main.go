@@ -1,12 +1,18 @@
 // Command gatherbench runs the reproduction's experiment suite (DESIGN.md
 // §4) and prints the tables recorded in EXPERIMENTS.md.
 //
+// Experiments fan their (configuration × trial) grids out across a worker
+// pool (-parallel). Tables are bit-identical for every worker count; the
+// wall-clock/throughput summary goes to stderr so that stdout and -out
+// files stay byte-for-byte reproducible.
+//
 // Usage:
 //
 //	gatherbench                  # full suite, markdown to stdout
 //	gatherbench -experiment E1   # one experiment
 //	gatherbench -quick -csv      # fast smoke run, CSV output
 //	gatherbench -out results.md  # write to a file
+//	gatherbench -parallel 8      # eight pool workers (0 = GOMAXPROCS)
 package main
 
 import (
@@ -14,23 +20,27 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gridgather/internal/experiments"
+	"gridgather/internal/parallel"
 )
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13")
-		seed   = flag.Int64("seed", 1, "random seed")
-		trials = flag.Int("trials", 5, "trials per randomized configuration")
-		sizes  = flag.String("sizes", "128,256,512,1024,2048", "comma-separated target sizes")
-		quick  = flag.Bool("quick", false, "small sizes and trials")
-		csv    = flag.Bool("csv", false, "emit CSV instead of markdown")
-		out    = flag.String("out", "", "output file (default stdout)")
+		which   = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 5, "trials per randomized configuration")
+		sizes   = flag.String("sizes", "128,256,512,1024,2048", "comma-separated target sizes")
+		quick   = flag.Bool("quick", false, "small sizes and trials")
+		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
+		out     = flag.String("out", "", "output file (default stdout)")
+		workers = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS (results identical for any value)")
+		quiet   = flag.Bool("quiet", false, "suppress the timing summary on stderr")
 	)
 	flag.Parse()
 
-	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick}
+	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
 	for _, tok := range strings.Split(*sizes, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err == nil && v > 0 {
@@ -38,38 +48,40 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	outs, err := run(*which, params)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		os.Exit(1)
 	}
 
-	var b strings.Builder
-	for _, o := range outs {
-		fmt.Fprintf(&b, "## %s — %s\n\n", o.ID, o.Title)
-		for _, tb := range o.Tables {
-			if *csv {
-				b.WriteString(tb.CSV())
-			} else {
-				b.WriteString(tb.Markdown())
-			}
-			b.WriteString("\n")
-		}
-		for _, note := range o.Notes {
-			fmt.Fprintf(&b, "- %s\n", note)
-		}
-		b.WriteString("\n")
+	if !*quiet {
+		reportTiming(outs, elapsed, parallel.Workers(*workers))
 	}
 
+	text := experiments.Render(outs, *csv)
 	if *out == "" {
-		fmt.Print(b.String())
+		fmt.Print(text)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// reportTiming prints the wall-clock/throughput summary to stderr, keeping
+// stdout (and -out files) a pure function of the experiment parameters.
+func reportTiming(outs []experiments.Outcome, elapsed time.Duration, workers int) {
+	tasks := 0
+	for _, o := range outs {
+		tasks += o.Tasks
+	}
+	throughput := float64(tasks) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "gatherbench: %d experiments, %d tasks in %s (%.1f tasks/s, %d workers)\n",
+		len(outs), tasks, elapsed.Round(time.Millisecond), throughput, workers)
 }
 
 func run(which string, params experiments.Params) ([]experiments.Outcome, error) {

@@ -2,12 +2,19 @@
 // (DESIGN.md §4): one function per experiment, each returning rendered
 // tables plus notes. cmd/gatherbench drives the suite; EXPERIMENTS.md
 // records its output against the paper's claims.
+//
+// Every experiment expresses its (configuration × trial) grid as a task
+// list executed through the internal/parallel worker pool. Each grid cell
+// owns a private RNG seeded by parallel.TaskSeed(Seed+offset, config,
+// trial) and a private simulation engine, so the rendered tables are
+// bit-identical for every worker count (DESIGN.md §5).
 package experiments
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"gridgather/internal/analysis"
 	"gridgather/internal/baseline"
@@ -15,6 +22,7 @@ import (
 	"gridgather/internal/core"
 	"gridgather/internal/generate"
 	"gridgather/internal/grid"
+	"gridgather/internal/parallel"
 	"gridgather/internal/sim"
 )
 
@@ -28,6 +36,10 @@ type Params struct {
 	Sizes []int
 	// Quick shrinks everything for smoke runs.
 	Quick bool
+	// Parallel is the worker count of the task pool; <= 0 selects
+	// GOMAXPROCS. Results are identical for every value (the determinism
+	// contract of internal/parallel).
+	Parallel int
 }
 
 // DefaultParams returns the sizes used for EXPERIMENTS.md.
@@ -55,6 +67,20 @@ type Outcome struct {
 	Title  string
 	Tables []*analysis.Table
 	Notes  []string
+	// Tasks counts the grid cells (independent simulations) executed
+	// through the worker pool — the unit of the harness's throughput.
+	Tasks int
+}
+
+// seeded wraps fn as a pool task owning the deterministic RNG of grid cell
+// (config, trial) under the experiment's seed offset. All experiment
+// randomness must flow through this helper: it is what makes results
+// independent of worker count and scheduling.
+func seeded[T any](p Params, offset int64, config, trial int, fn func(*rand.Rand) (T, error)) parallel.Task[T] {
+	return func(int) (T, error) {
+		rng := rand.New(rand.NewSource(parallel.TaskSeed(p.Seed+offset, config, trial)))
+		return fn(rng)
+	}
 }
 
 // All runs the executable experiments in order. (E5–E7 are figure-mechanic
@@ -82,6 +108,31 @@ func All(p Params) ([]Outcome, error) {
 	return out, nil
 }
 
+// Render serialises outcomes the way cmd/gatherbench prints them (and
+// EXPERIMENTS.md records them): a section per experiment with its tables
+// (markdown, or CSV when csv is set) and notes. The output is a pure
+// function of the outcomes, so it doubles as the byte-identity witness of
+// the determinism tests.
+func Render(outs []Outcome, csv bool) string {
+	var b strings.Builder
+	for _, o := range outs {
+		fmt.Fprintf(&b, "## %s — %s\n\n", o.ID, o.Title)
+		for _, tb := range o.Tables {
+			if csv {
+				b.WriteString(tb.CSV())
+			} else {
+				b.WriteString(tb.Markdown())
+			}
+			b.WriteString("\n")
+		}
+		for _, note := range o.Notes {
+			fmt.Fprintf(&b, "- %s\n", note)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // scalingShapes are the workload families of the Theorem 1 sweep.
 var scalingShapes = []string{"rectangle", "spiral", "comb", "serpentine", "walk", "polyomino"}
 
@@ -95,30 +146,58 @@ func buildShape(name string, size int, rng *rand.Rand) (*chain.Chain, error) {
 func E1Theorem1(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E1", Title: "Theorem 1 — linear-time gathering (rounds vs n)"}
-	detail := analysis.NewTable("shape", "n", "rounds", "rounds/n", "merges", "runs", "max active runs")
-	fits := analysis.NewTable("shape", "slope (rounds per robot)", "intercept", "R2")
-	rng := rand.New(rand.NewSource(p.Seed))
+	type cfg struct {
+		shape string
+		size  int
+	}
+	var cfgs []cfg
 	for _, shape := range scalingShapes {
-		var xs, ys []float64
 		for _, size := range p.Sizes {
-			var rounds, merges, runs, active, ns analysis.Series
-			for trial := 0; trial < p.Trials; trial++ {
-				ch, err := buildShape(shape, size, rng)
+			cfgs = append(cfgs, cfg{shape, size})
+		}
+	}
+	type sample struct {
+		n, rounds, merges, runs, active int
+	}
+	var tasks []parallel.Task[sample]
+	for ci, c := range cfgs {
+		for trial := 0; trial < p.Trials; trial++ {
+			tasks = append(tasks, seeded(p, 1, ci, trial, func(rng *rand.Rand) (sample, error) {
+				ch, err := buildShape(c.shape, c.size, rng)
 				if err != nil {
-					return o, err
+					return sample{}, err
 				}
 				n := ch.Len()
 				res, err := sim.Gather(ch, sim.Options{})
 				if err != nil {
-					return o, fmt.Errorf("E1 %s n=%d: %w", shape, n, err)
+					return sample{}, fmt.Errorf("E1 %s n=%d: %w", c.shape, n, err)
 				}
-				ns.AddInt(n)
-				rounds.AddInt(res.Rounds)
-				merges.AddInt(res.TotalMerges)
-				runs.AddInt(res.TotalRunsStarted)
-				active.AddInt(res.MaxActiveRuns)
-				xs = append(xs, float64(n))
-				ys = append(ys, float64(res.Rounds))
+				return sample{n, res.Rounds, res.TotalMerges, res.TotalRunsStarted, res.MaxActiveRuns}, nil
+			}))
+		}
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
+	detail := analysis.NewTable("shape", "n", "rounds", "rounds/n", "merges", "runs", "max active runs")
+	fits := analysis.NewTable("shape", "slope (rounds per robot)", "intercept", "R2")
+	for si, shape := range scalingShapes {
+		var xs, ys []float64
+		for zi := range p.Sizes {
+			ci := si*len(p.Sizes) + zi
+			var rounds, merges, runs, active, ns analysis.Series
+			for trial := 0; trial < p.Trials; trial++ {
+				s := flat[ci*p.Trials+trial]
+				ns.AddInt(s.n)
+				rounds.AddInt(s.rounds)
+				merges.AddInt(s.merges)
+				runs.AddInt(s.runs)
+				active.AddInt(s.active)
+				xs = append(xs, float64(s.n))
+				ys = append(ys, float64(s.rounds))
 			}
 			meanN := ns.Mean()
 			detail.AddRow(shape,
@@ -152,41 +231,66 @@ func E1Theorem1(p Params) (Outcome, error) {
 func E2E3Lemmas(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E2/E3", Title: "Lemmas 1 and 2 — progress-pair accounting"}
+	shapes := generate.Names()
+	size := p.Sizes[len(p.Sizes)/2]
+	type sample struct {
+		n  int
+		ps sim.PairStats
+	}
+	var tasks []parallel.Task[sample]
+	for si, shape := range shapes {
+		for trial := 0; trial < p.Trials; trial++ {
+			tasks = append(tasks, seeded(p, 2, si, trial, func(rng *rand.Rand) (sample, error) {
+				ch, err := buildShape(shape, size, rng)
+				if err != nil {
+					return sample{}, err
+				}
+				n := ch.Len()
+				res, err := sim.Gather(ch, sim.Options{})
+				if err != nil {
+					return sample{}, fmt.Errorf("E2/E3 %s: %w", shape, err)
+				}
+				return sample{n, res.Pairs}, nil
+			}))
+		}
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
+	// The table shows trial 0 per shape; the lemma-critical counters of
+	// every trial are summed below so no violation is discarded.
+	var conflicts, violations, windows int
+	for _, s := range flat {
+		conflicts += s.ps.CreditConflicts
+		violations += s.ps.Lemma1Violations
+		windows += s.ps.Lemma1Windows
+	}
 	tb := analysis.NewTable("shape", "n", "pairs", "good", "progress",
 		"progress→merge", "cut short", "credit conflicts", "L1 windows", "L1 violations")
-	rng := rand.New(rand.NewSource(p.Seed + 2))
-	size := p.Sizes[len(p.Sizes)/2]
-	for _, shape := range generate.Names() {
-		for trial := 0; trial < p.Trials; trial++ {
-			ch, err := buildShape(shape, size, rng)
-			if err != nil {
-				return o, err
-			}
-			n := ch.Len()
-			res, err := sim.Gather(ch, sim.Options{})
-			if err != nil {
-				return o, fmt.Errorf("E2/E3 %s: %w", shape, err)
-			}
-			if trial == 0 {
-				ps := res.Pairs
-				tb.AddRow(shape,
-					fmt.Sprintf("%d", n),
-					fmt.Sprintf("%d", ps.PairsStarted),
-					fmt.Sprintf("%d", ps.GoodPairs),
-					fmt.Sprintf("%d", ps.ProgressPairs),
-					fmt.Sprintf("%d", ps.ProgressMerged),
-					fmt.Sprintf("%d", ps.ProgressUnresolved),
-					fmt.Sprintf("%d", ps.CreditConflicts),
-					fmt.Sprintf("%d", ps.Lemma1Windows),
-					fmt.Sprintf("%d", ps.Lemma1Violations))
-			}
-		}
+	for si, shape := range shapes {
+		s := flat[si*p.Trials]
+		ps := s.ps
+		tb.AddRow(shape,
+			fmt.Sprintf("%d", s.n),
+			fmt.Sprintf("%d", ps.PairsStarted),
+			fmt.Sprintf("%d", ps.GoodPairs),
+			fmt.Sprintf("%d", ps.ProgressPairs),
+			fmt.Sprintf("%d", ps.ProgressMerged),
+			fmt.Sprintf("%d", ps.ProgressUnresolved),
+			fmt.Sprintf("%d", ps.CreditConflicts),
+			fmt.Sprintf("%d", ps.Lemma1Windows),
+			fmt.Sprintf("%d", ps.Lemma1Violations))
 	}
 	o.Tables = []*analysis.Table{tb}
 	o.Notes = []string{
 		"Lemma 2.a: every progress pair enables a merge — 'cut short' counts pairs overtaken by gathering itself (the lemma grants them n more rounds).",
 		"Lemma 2.b: credit conflicts (two pairs enabling the same merge) must be 0.",
 		"Lemma 1: violations (a 13-round window with neither a merge nor a new good pair on an ungathered chain) must be 0.",
+		fmt.Sprintf("Audit across all %d trials: %d Lemma 1 violations in %d windows, %d credit conflicts.",
+			len(flat), violations, windows, conflicts),
 	}
 	return o, nil
 }
@@ -196,27 +300,44 @@ func E2E3Lemmas(p Params) (Outcome, error) {
 func E4RunHealth(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E4", Title: "Lemma 3 — run invariants and lifecycle health"}
+	size := p.Sizes[len(p.Sizes)/2]
+	type sample struct {
+		runs      int
+		ends      map[core.TerminateReason]int
+		anomalies int
+	}
+	var tasks []parallel.Task[sample]
+	for si, shape := range scalingShapes {
+		tasks = append(tasks, seeded(p, 4, si, 0, func(rng *rand.Rand) (sample, error) {
+			ch, err := buildShape(shape, size, rng)
+			if err != nil {
+				return sample{}, err
+			}
+			res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
+			if err != nil {
+				return sample{}, fmt.Errorf("E4 %s: %w", shape, err)
+			}
+			return sample{res.TotalRunsStarted, res.EndsByReason, res.Anomalies.Total()}, nil
+		}))
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
 	tb := analysis.NewTable("shape", "runs", "end: merge", "end: endpoint",
 		"end: sequent", "end: target gone", "anomalies")
-	rng := rand.New(rand.NewSource(p.Seed + 4))
-	size := p.Sizes[len(p.Sizes)/2]
-	for _, shape := range scalingShapes {
-		ch, err := buildShape(shape, size, rng)
-		if err != nil {
-			return o, err
-		}
-		res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
-		if err != nil {
-			return o, fmt.Errorf("E4 %s: %w", shape, err)
-		}
-		e := res.EndsByReason
+	for si, shape := range scalingShapes {
+		s := flat[si]
+		e := s.ends
 		tb.AddRow(shape,
-			fmt.Sprintf("%d", res.TotalRunsStarted),
+			fmt.Sprintf("%d", s.runs),
 			fmt.Sprintf("%d", e[core.TermMerge]),
 			fmt.Sprintf("%d", e[core.TermEndpoint]),
 			fmt.Sprintf("%d", e[core.TermSequentRun]),
 			fmt.Sprintf("%d", e[core.TermPassTargetGone]+e[core.TermOpTargetGone]),
-			fmt.Sprintf("%d", res.Anomalies.Total()))
+			fmt.Sprintf("%d", s.anomalies))
 	}
 	o.Tables = []*analysis.Table{tb}
 	o.Notes = []string{
@@ -231,20 +352,36 @@ func E4RunHealth(p Params) (Outcome, error) {
 func E8Pipelining(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E8", Title: "Fig 9 — pipelining depth vs chain size"}
+	type sample struct {
+		side, n, rounds, runs, active int
+	}
+	var tasks []parallel.Task[sample]
+	for zi, size := range p.Sizes {
+		// Deterministic workload: the RNG of the cell is unused.
+		tasks = append(tasks, seeded(p, 8, zi, 0, func(_ *rand.Rand) (sample, error) {
+			side := size / 4
+			ch, err := generate.Rectangle(side, side)
+			if err != nil {
+				return sample{}, err
+			}
+			n := ch.Len()
+			res, err := sim.Gather(ch, sim.Options{})
+			if err != nil {
+				return sample{}, fmt.Errorf("E8 side=%d: %w", side, err)
+			}
+			return sample{side, n, res.Rounds, res.TotalRunsStarted, res.MaxActiveRuns}, nil
+		}))
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
 	tb := analysis.NewTable("side", "n", "rounds", "rounds/n", "runs started", "max active runs")
-	for _, size := range p.Sizes {
-		side := size / 4
-		ch, err := generate.Rectangle(side, side)
-		if err != nil {
-			return o, err
-		}
-		n := ch.Len()
-		res, err := sim.Gather(ch, sim.Options{})
-		if err != nil {
-			return o, fmt.Errorf("E8 side=%d: %w", side, err)
-		}
-		tb.AddRowf(fmt.Sprintf("%d", side), n, res.Rounds,
-			float64(res.Rounds)/float64(n), res.TotalRunsStarted, res.MaxActiveRuns)
+	for _, s := range flat {
+		tb.AddRowf(fmt.Sprintf("%d", s.side), s.n, s.rounds,
+			float64(s.rounds)/float64(s.n), s.runs, s.active)
 	}
 	o.Tables = []*analysis.Table{tb}
 	o.Notes = []string{
@@ -259,48 +396,64 @@ func E8Pipelining(p Params) (Outcome, error) {
 func E9MergelessStructure(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E9", Title: "Fig 16–18 — mergeless chains decompose into quasi lines + stairways and always start a good pair"}
+	trials := 4 * p.Trials
+	type sample struct {
+		n, quasiLines, stairways, irregular, starts int
+		mergeless, good                             bool
+	}
+	var tasks []parallel.Task[sample]
+	for trial := 0; trial < trials; trial++ {
+		tasks = append(tasks, seeded(p, 9, 0, trial, func(rng *rand.Rand) (sample, error) {
+			ch, err := generate.MergelessPolyomino(3+rng.Intn(8), core.DefaultMaxMergeLen, rng)
+			if err != nil {
+				return sample{}, err
+			}
+			mergeless := len(core.DetectMerges(ch, core.DefaultMaxMergeLen)) == 0
+			st := core.Stats(core.Decompose(ch))
+			alg, err := core.New(ch, core.DefaultConfig())
+			if err != nil {
+				return sample{}, err
+			}
+			rep, err := alg.Step()
+			if err != nil {
+				return sample{}, err
+			}
+			good := false
+			for _, s := range rep.Starts {
+				if s.Pair >= 0 && s.Good {
+					good = true
+				}
+			}
+			return sample{rep.ChainLen, st.QuasiLines, st.Stairways, st.Irregular,
+				len(rep.Starts), mergeless, good}, nil
+		}))
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
 	tb := analysis.NewTable("trial", "n", "mergeless", "quasi lines", "stairways",
 		"irregular", "starts", "good pair found")
-	rng := rand.New(rand.NewSource(p.Seed + 9))
-	trials := 4 * p.Trials
 	found := 0
 	irregularTotal := 0
-	for trial := 0; trial < trials; trial++ {
-		ch, err := generate.MergelessPolyomino(3+rng.Intn(8), core.DefaultMaxMergeLen, rng)
-		if err != nil {
-			return o, err
-		}
-		mergeless := len(core.DetectMerges(ch, core.DefaultMaxMergeLen)) == 0
-		st := core.Stats(core.Decompose(ch))
-		irregularTotal += st.Irregular
-		alg, err := core.New(ch, core.DefaultConfig())
-		if err != nil {
-			return o, err
-		}
-		rep, err := alg.Step()
-		if err != nil {
-			return o, err
-		}
-		good := false
-		for _, s := range rep.Starts {
-			if s.Pair >= 0 && s.Good {
-				good = true
-			}
-		}
-		if good {
+	for trial, s := range flat {
+		irregularTotal += s.irregular
+		if s.good {
 			found++
 		}
 		if trial < 8 {
 			tb.AddRow(fmt.Sprintf("%d", trial),
-				fmt.Sprintf("%d", rep.ChainLen),
-				fmt.Sprintf("%v", mergeless),
-				fmt.Sprintf("%d", st.QuasiLines),
-				fmt.Sprintf("%d", st.Stairways),
-				fmt.Sprintf("%d", st.Irregular),
-				fmt.Sprintf("%d", len(rep.Starts)),
-				fmt.Sprintf("%v", good))
+				fmt.Sprintf("%d", s.n),
+				fmt.Sprintf("%v", s.mergeless),
+				fmt.Sprintf("%d", s.quasiLines),
+				fmt.Sprintf("%d", s.stairways),
+				fmt.Sprintf("%d", s.irregular),
+				fmt.Sprintf("%d", s.starts),
+				fmt.Sprintf("%v", s.good))
 		}
-		if !mergeless {
+		if !s.mergeless {
 			return o, fmt.Errorf("E9 trial %d: inflated polyomino was not mergeless", trial)
 		}
 	}
@@ -315,32 +468,67 @@ func E9MergelessStructure(p Params) (Outcome, error) {
 	return o, nil
 }
 
+// ablationSample is one rendered cell of the E10/E11/E13 parameter sweeps.
+type ablationSample struct {
+	n              int
+	rounds, status string
+	anomalies      int
+}
+
+// gatherAblation runs one ablation cell, folding a watchdog DNF into the
+// rendered status instead of an error.
+func gatherAblation(ch *chain.Chain, opts sim.Options) (ablationSample, error) {
+	n := ch.Len()
+	res, err := sim.Gather(ch, opts)
+	s := ablationSample{n: n, rounds: fmt.Sprintf("%d", res.Rounds), status: "yes",
+		anomalies: res.Anomalies.Total()}
+	if err != nil {
+		if !errors.Is(err, sim.ErrWatchdog) {
+			return s, err
+		}
+		s.rounds, s.status = "—", "no (watchdog)"
+	}
+	return s, nil
+}
+
 // E10AblationRunPeriod sweeps the pipelining period L around the paper's
 // 13 (§5.2 couples L >= 13 to the viewing path length).
 func E10AblationRunPeriod(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E10", Title: "Ablation — run period L (paper: 13)"}
-	tb := analysis.NewTable("L", "shape", "n", "rounds", "gathered", "anomalies")
+	Ls := []int{5, 9, 13, 17, 21, 26}
+	shapes := []string{"rectangle", "spiral"}
 	size := p.Sizes[min(1, len(p.Sizes)-1)]
-	for _, L := range []int{5, 9, 13, 17, 21, 26} {
-		for _, shape := range []string{"rectangle", "spiral"} {
-			rng := rand.New(rand.NewSource(p.Seed + 10))
-			ch, err := buildShape(shape, size, rng)
-			if err != nil {
-				return o, err
-			}
-			n := ch.Len()
-			opts := baseline.RunPeriodOptions(L)
-			res, err := sim.Gather(ch, opts)
-			status, rounds := "yes", fmt.Sprintf("%d", res.Rounds)
-			if err != nil {
-				if !errors.Is(err, sim.ErrWatchdog) {
-					return o, fmt.Errorf("E10 L=%d %s: %w", L, shape, err)
+	var tasks []parallel.Task[ablationSample]
+	for _, L := range Ls {
+		for si, shape := range shapes {
+			// Seed by shape only: every L is tried on the same chain
+			// (controlled ablation).
+			tasks = append(tasks, seeded(p, 10, si, 0, func(rng *rand.Rand) (ablationSample, error) {
+				ch, err := buildShape(shape, size, rng)
+				if err != nil {
+					return ablationSample{}, err
 				}
-				status, rounds = "no (watchdog)", "—"
-			}
-			tb.AddRow(fmt.Sprintf("%d", L), shape, fmt.Sprintf("%d", n),
-				rounds, status, fmt.Sprintf("%d", res.Anomalies.Total()))
+				s, err := gatherAblation(ch, baseline.RunPeriodOptions(L))
+				if err != nil {
+					return s, fmt.Errorf("E10 L=%d %s: %w", L, shape, err)
+				}
+				return s, nil
+			}))
+		}
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
+	tb := analysis.NewTable("L", "shape", "n", "rounds", "gathered", "anomalies")
+	for li, L := range Ls {
+		for si, shape := range shapes {
+			s := flat[li*len(shapes)+si]
+			tb.AddRow(fmt.Sprintf("%d", L), shape, fmt.Sprintf("%d", s.n),
+				s.rounds, s.status, fmt.Sprintf("%d", s.anomalies))
 		}
 	}
 	o.Tables = []*analysis.Table{tb}
@@ -357,27 +545,38 @@ func E10AblationRunPeriod(p Params) (Outcome, error) {
 func E11AblationMergeLen(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E11", Title: "Ablation — merge detection length (implementation bound: V-1 = 10)"}
-	tb := analysis.NewTable("max merge len", "shape", "n", "rounds", "gathered")
+	ks := []int{2, 3, 4, 6, 8, 10}
+	shapes := []string{"rectangle", "walk"}
 	size := p.Sizes[min(1, len(p.Sizes)-1)]
-	for _, k := range []int{2, 3, 4, 6, 8, 10} {
-		for _, shape := range []string{"rectangle", "walk"} {
-			rng := rand.New(rand.NewSource(p.Seed + 11))
-			ch, err := buildShape(shape, size, rng)
-			if err != nil {
-				return o, err
-			}
-			n := ch.Len()
-			opts := baseline.MergeLenOptions(k)
-			opts.WatchdogFactor = 80
-			res, err := sim.Gather(ch, opts)
-			status, rounds := "yes", fmt.Sprintf("%d", res.Rounds)
-			if err != nil {
-				if !errors.Is(err, sim.ErrWatchdog) {
-					return o, fmt.Errorf("E11 k=%d %s: %w", k, shape, err)
+	var tasks []parallel.Task[ablationSample]
+	for _, k := range ks {
+		for si, shape := range shapes {
+			tasks = append(tasks, seeded(p, 11, si, 0, func(rng *rand.Rand) (ablationSample, error) {
+				ch, err := buildShape(shape, size, rng)
+				if err != nil {
+					return ablationSample{}, err
 				}
-				status, rounds = "no (watchdog)", "—"
-			}
-			tb.AddRow(fmt.Sprintf("%d", k), shape, fmt.Sprintf("%d", n), rounds, status)
+				opts := baseline.MergeLenOptions(k)
+				opts.WatchdogFactor = 80
+				s, err := gatherAblation(ch, opts)
+				if err != nil {
+					return s, fmt.Errorf("E11 k=%d %s: %w", k, shape, err)
+				}
+				return s, nil
+			}))
+		}
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
+	tb := analysis.NewTable("max merge len", "shape", "n", "rounds", "gathered")
+	for ki, k := range ks {
+		for si, shape := range shapes {
+			s := flat[ki*len(shapes)+si]
+			tb.AddRow(fmt.Sprintf("%d", k), shape, fmt.Sprintf("%d", s.n), s.rounds, s.status)
 		}
 	}
 	o.Tables = []*analysis.Table{tb}
@@ -392,58 +591,79 @@ func E11AblationMergeLen(p Params) (Outcome, error) {
 func E12Baselines(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E12", Title: "Baselines — closed chain vs ablations, global vision, open chains"}
-	closed := analysis.NewTable("shape", "n", "paper", "sequential runs", "merge-only", "global contraction", "diameter")
-	rng := rand.New(rand.NewSource(p.Seed + 12))
 	size := p.Sizes[min(1, len(p.Sizes)-1)]
-	for _, shape := range []string{"rectangle", "spiral", "polyomino"} {
-		ref, err := buildShape(shape, size, rng)
-		if err != nil {
-			return o, err
-		}
-		n := ref.Len()
-		diam := ref.Diameter()
-		row := []string{shape, fmt.Sprintf("%d", n)}
-		for _, opt := range []sim.Options{
-			baseline.PaperOptions(),
-			baseline.SequentialRunsOptions(),
-			baseline.MergeOnlyOptions(),
-		} {
-			opt.MaxRounds = 120*n + 400
-			res, err := sim.Gather(ref.Clone(), opt)
+	closedShapes := []string{"rectangle", "spiral", "polyomino"}
+
+	var closedTasks []parallel.Task[[]string]
+	for si, shape := range closedShapes {
+		closedTasks = append(closedTasks, seeded(p, 12, si, 0, func(rng *rand.Rand) ([]string, error) {
+			ref, err := buildShape(shape, size, rng)
 			if err != nil {
-				if !errors.Is(err, sim.ErrWatchdog) {
-					return o, fmt.Errorf("E12 %s: %w", shape, err)
-				}
-				row = append(row, "DNF")
-				continue
+				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%d", res.Rounds))
-		}
-		gres, err := baseline.NewContraction(ref.Clone()).Run()
-		if err != nil {
-			return o, fmt.Errorf("E12 contraction %s: %w", shape, err)
-		}
-		row = append(row, fmt.Sprintf("%d", gres.Rounds), fmt.Sprintf("%d", diam))
-		closed.AddRow(row...)
+			n := ref.Len()
+			diam := ref.Diameter()
+			row := []string{shape, fmt.Sprintf("%d", n)}
+			for _, opt := range []sim.Options{
+				baseline.PaperOptions(),
+				baseline.SequentialRunsOptions(),
+				baseline.MergeOnlyOptions(),
+			} {
+				opt.MaxRounds = 120*n + 400
+				res, err := sim.Gather(ref.Clone(), opt)
+				if err != nil {
+					if !errors.Is(err, sim.ErrWatchdog) {
+						return nil, fmt.Errorf("E12 %s: %w", shape, err)
+					}
+					row = append(row, "DNF")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%d", res.Rounds))
+			}
+			gres, err := baseline.NewContraction(ref.Clone()).Run()
+			if err != nil {
+				return nil, fmt.Errorf("E12 contraction %s: %w", shape, err)
+			}
+			return append(row, fmt.Sprintf("%d", gres.Rounds), fmt.Sprintf("%d", diam)), nil
+		}))
 	}
 
+	var openTasks []parallel.Task[[]string]
+	for mi, m := range p.Sizes {
+		// Offset the config index past the closed grid so the open chains
+		// draw from distinct seed cells.
+		openTasks = append(openTasks, seeded(p, 12, len(closedShapes)+mi, 0, func(rng *rand.Rand) ([]string, error) {
+			pts := randomOpenWalk(m, rng)
+			h, err := baseline.NewManhattanHopper(pts)
+			if err != nil {
+				return nil, err
+			}
+			hres, err := h.Run()
+			if err != nil {
+				return nil, fmt.Errorf("E12 hopper m=%d: %w", m, err)
+			}
+			eg, err := baseline.OpenEndpointGather(pts)
+			if err != nil {
+				return nil, err
+			}
+			return []string{fmt.Sprintf("%d", m), fmt.Sprintf("%d", hres.Rounds),
+				fmt.Sprintf("%v", hres.Optimal), fmt.Sprintf("%d", eg)}, nil
+		}))
+	}
+
+	rows, err := parallel.Run(p.Parallel, append(closedTasks, openTasks...))
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(rows)
+
+	closed := analysis.NewTable("shape", "n", "paper", "sequential runs", "merge-only", "global contraction", "diameter")
+	for _, row := range rows[:len(closedTasks)] {
+		closed.AddRow(row...)
+	}
 	open := analysis.NewTable("open-chain stations", "hopper rounds (fixed ends)", "hopper optimal", "endpoint-gather rounds")
-	for _, m := range p.Sizes {
-		pts := randomOpenWalk(m, rng)
-		h, err := baseline.NewManhattanHopper(pts)
-		if err != nil {
-			return o, err
-		}
-		hres, err := h.Run()
-		if err != nil {
-			return o, fmt.Errorf("E12 hopper m=%d: %w", m, err)
-		}
-		eg, err := baseline.OpenEndpointGather(pts)
-		if err != nil {
-			return o, err
-		}
-		open.AddRow(fmt.Sprintf("%d", m), fmt.Sprintf("%d", hres.Rounds),
-			fmt.Sprintf("%v", hres.Optimal), fmt.Sprintf("%d", eg))
+	for _, row := range rows[len(closedTasks):] {
+		open.AddRow(row...)
 	}
 	o.Tables = []*analysis.Table{closed, open}
 	o.Notes = []string{
@@ -458,27 +678,37 @@ func E12Baselines(p Params) (Outcome, error) {
 func E13AblationView(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E13", Title: "Ablation — viewing path length V (paper: 11)"}
-	tb := analysis.NewTable("V", "L", "shape", "n", "rounds", "gathered")
+	vs := []int{7, 9, 11, 15, 21}
+	shapes := []string{"rectangle", "spiral"}
 	size := p.Sizes[min(1, len(p.Sizes)-1)]
-	for _, v := range []int{7, 9, 11, 15, 21} {
-		for _, shape := range []string{"rectangle", "spiral"} {
-			rng := rand.New(rand.NewSource(p.Seed + 13))
-			ch, err := buildShape(shape, size, rng)
-			if err != nil {
-				return o, err
-			}
-			n := ch.Len()
-			opts := baseline.ViewOptions(v)
-			res, err := sim.Gather(ch, opts)
-			status, rounds := "yes", fmt.Sprintf("%d", res.Rounds)
-			if err != nil {
-				if !errors.Is(err, sim.ErrWatchdog) {
-					return o, fmt.Errorf("E13 V=%d %s: %w", v, shape, err)
+	var tasks []parallel.Task[ablationSample]
+	for _, v := range vs {
+		for si, shape := range shapes {
+			tasks = append(tasks, seeded(p, 13, si, 0, func(rng *rand.Rand) (ablationSample, error) {
+				ch, err := buildShape(shape, size, rng)
+				if err != nil {
+					return ablationSample{}, err
 				}
-				status, rounds = "no (watchdog)", "—"
-			}
+				s, err := gatherAblation(ch, baseline.ViewOptions(v))
+				if err != nil {
+					return s, fmt.Errorf("E13 V=%d %s: %w", v, shape, err)
+				}
+				return s, nil
+			}))
+		}
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks = len(tasks)
+
+	tb := analysis.NewTable("V", "L", "shape", "n", "rounds", "gathered")
+	for vi, v := range vs {
+		for si, shape := range shapes {
+			s := flat[vi*len(shapes)+si]
 			tb.AddRow(fmt.Sprintf("%d", v), fmt.Sprintf("%d", v+2), shape,
-				fmt.Sprintf("%d", n), rounds, status)
+				fmt.Sprintf("%d", s.n), s.rounds, s.status)
 		}
 	}
 	o.Tables = []*analysis.Table{tb}

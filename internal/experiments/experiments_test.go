@@ -76,6 +76,46 @@ func TestE1LinearFits(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminism is the harness's core contract: the rendered
+// suite output is byte-identical regardless of worker count.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep skipped in -short mode")
+	}
+	run := func(workers int) string {
+		p := quickParams()
+		p.Parallel = workers
+		outs, err := All(p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return Render(outs, false)
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != ref {
+			t.Errorf("suite output differs between -parallel 1 and -parallel %d", workers)
+		}
+	}
+}
+
+// TestOutcomeTasksCounted ensures every experiment reports its grid size,
+// the denominator of gatherbench's throughput line.
+func TestOutcomeTasksCounted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	outs, err := All(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.Tasks <= 0 {
+			t.Errorf("%s: Tasks = %d, want > 0", o.ID, o.Tasks)
+		}
+	}
+}
+
 func TestE9AlwaysFindsGoodPairs(t *testing.T) {
 	o, err := E9MergelessStructure(Params{Seed: 5, Trials: 3, Sizes: []int{128}})
 	if err != nil {

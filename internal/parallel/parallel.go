@@ -1,0 +1,134 @@
+// Package parallel is the experiment harness's worker pool (DESIGN.md §5).
+// It fans a list of independent tasks out across a bounded number of
+// goroutines and collects the results back in task order, so callers that
+// aggregate sequentially see exactly the same stream of values no matter
+// how many workers ran or how the scheduler interleaved them.
+//
+// Determinism contract: a task must derive all of its randomness from its
+// own task index (see TaskSeed) and must not touch state shared with other
+// tasks. Under that contract the output of Run is bit-identical for every
+// worker count, which is what lets `gatherbench -parallel 1` and
+// `-parallel 8` produce byte-identical tables.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task computes one grid cell of an experiment. The index it receives is
+// its position in the task list handed to Run.
+type Task[T any] func(index int) (T, error)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes the tasks on up to workers goroutines (normalized through
+// Workers) and returns their results in task order. On a failure no new
+// tasks are dispatched (a bad cell surfaces promptly instead of burning
+// the rest of a multi-minute sweep); in-flight tasks finish, the results
+// computed so far remain in the slice, and the lowest-indexed recorded
+// error is returned. On an all-success run the output is a pure function
+// of the task list — the byte-identity half of the determinism contract.
+// A nil or empty task list returns an empty result slice.
+func Run[T any](workers int, tasks []Task[T]) ([]T, error) {
+	results := make([]T, len(tasks))
+	if len(tasks) == 0 {
+		return results, nil
+	}
+	workers = Workers(workers)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	errs := make([]error, len(tasks))
+	if workers == 1 {
+		// Degenerate pool: run inline, keeping stack traces trivial.
+		for i, t := range tasks {
+			results[i], errs[i] = runTask(t, i)
+			if errs[i] != nil {
+				break
+			}
+		}
+		return results, firstError(errs)
+	}
+
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = runTask(tasks[i], i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		if failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// runTask invokes one task, converting a panic into an error so a single
+// bad grid cell cannot take down the whole sweep with a goroutine crash.
+func runTask[T any](t Task[T], i int) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+		}
+	}()
+	return t(i)
+}
+
+// firstError returns the error with the smallest task index, keeping error
+// reporting deterministic across worker counts.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TaskSeed derives the RNG seed of one (configIndex, trial) grid cell from
+// the experiment's base seed via chained SplitMix64 finalizers. The mapping
+// is a pure function of (base, config, trial) — the root of the harness's
+// determinism contract — and the avalanche mixing keeps the streams of
+// neighbouring cells statistically unrelated.
+func TaskSeed(base int64, config, trial int) int64 {
+	x := uint64(base)
+	x = mix64(x + 0x9e3779b97f4a7c15)
+	x = mix64(x ^ uint64(uint32(config))<<21)
+	x = mix64(x ^ uint64(uint32(trial)))
+	return int64(x)
+}
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014): a bijection
+// on 64-bit words with strong avalanche behaviour.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

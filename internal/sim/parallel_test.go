@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"gridgather/internal/generate"
+)
+
+// TestConcurrentEngines exercises the package's concurrency contract: one
+// engine per goroutine, no shared mutable state. Run with -race this is
+// the safety net under the experiment harness's worker pool.
+func TestConcurrentEngines(t *testing.T) {
+	sides := []int{8, 10, 12, 14, 16, 18, 20, 22}
+
+	// Sequential reference results.
+	want := make([]Result, len(sides))
+	for i, side := range sides {
+		ch, err := generate.Rectangle(side, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Gather(ch, Options{CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	got := make([]Result, len(sides))
+	errs := make([]error, len(sides))
+	var wg sync.WaitGroup
+	for i, side := range sides {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, err := generate.Rectangle(side, side)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = Gather(ch, Options{CheckInvariants: true})
+		}()
+	}
+	wg.Wait()
+
+	for i := range sides {
+		if errs[i] != nil {
+			t.Fatalf("side=%d: %v", sides[i], errs[i])
+		}
+		if got[i].Rounds != want[i].Rounds || got[i].TotalMerges != want[i].TotalMerges ||
+			got[i].TotalRunsStarted != want[i].TotalRunsStarted || !got[i].Gathered {
+			t.Errorf("side=%d: concurrent result %+v != sequential %+v",
+				sides[i], got[i], want[i])
+		}
+	}
+}
