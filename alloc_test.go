@@ -1,0 +1,52 @@
+// Allocation regression tests for the per-round simulation hot path: the
+// scratch-state reuse in internal/core and internal/sim (DESIGN.md §5)
+// must keep the steady-state round loop nearly allocation-free. The bench
+// trajectory (BENCH_*.json, cmd/gatherbench -bench-out) records the same
+// numbers across PRs; this test is the cheap tripwire that runs with the
+// ordinary suite.
+package gridgather_test
+
+import (
+	"testing"
+
+	gridgather "gridgather"
+	"gridgather/internal/core"
+)
+
+// TestStepAllocsRegression pins the average per-round allocation count of
+// core.Algorithm.Step on a mid-size square (n = 512). Rounds that start
+// runs allocate the new Run objects (real state, every L-th round) and the
+// reusable buffers may still grow early on; everything else — merge
+// planning, decisions, hop maps, registry rebuild, report slices — must
+// come from reused scratch. The bound is ~4x the measured steady-state
+// average (≈2 allocs/round), far below the ~69 allocs/round of the
+// allocate-per-round implementation it guards against.
+func TestStepAllocsRegression(t *testing.T) {
+	ch, err := gridgather.Rectangle(128, 128) // n = 512; gathers in ~773 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := core.New(ch, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: first rounds grow the reusable buffers to working size.
+	for i := 0; i < 60; i++ {
+		if _, err := alg.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 200 // well before gathering at ~773
+	avg := testing.AllocsPerRun(rounds, func() {
+		if alg.Gathered() {
+			t.Fatal("chain gathered mid-measurement; enlarge the workload")
+		}
+		if _, err := alg.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocsPerRound = 8.0
+	if avg > maxAllocsPerRound {
+		t.Errorf("Algorithm.Step allocates %.1f objects/round on average, want <= %.1f (scratch reuse regressed)", avg, maxAllocsPerRound)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	gridgather "gridgather"
 	"gridgather/internal/baseline"
+	"gridgather/internal/benchdefs"
 	"gridgather/internal/core"
 	"gridgather/internal/experiments"
 	"gridgather/internal/generate"
@@ -27,6 +28,7 @@ func gatherBench(b *testing.B, mk func() *gridgather.Chain, opts gridgather.Opti
 	ref := mk()
 	n := ref.Len()
 	var rounds int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := gridgather.Gather(ref.Clone(), opts)
@@ -141,13 +143,15 @@ func BenchmarkLemma3Invariants(b *testing.B) {
 }
 
 // BenchmarkMergeDetection — experiment E5 (Fig 2/3 mechanics): the
-// per-round cost of the merge pattern scan.
+// per-round cost of the merge pattern scan, allocating a fresh plan per
+// round (the convenience-API path).
 func BenchmarkMergeDetection(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	ch, err := gridgather.RandomClosedWalk(4096, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.PlanMerges(ch, core.DefaultMaxMergeLen); err != nil {
@@ -156,32 +160,21 @@ func BenchmarkMergeDetection(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeDetectionReuse — the same scan through a reused MergePlan,
+// the path Algorithm.Step takes every round (zero steady-state
+// allocations; the bench trajectory pins the same body as
+// "PlanMergesReuse/n=4096").
+func BenchmarkMergeDetectionReuse(b *testing.B) {
+	benchdefs.PlanMergesReuse4096(b)
+}
+
 // BenchmarkRunReshape — experiment E6 (Fig 6/7/11 mechanics): stepping a
-// large square where all work is runner reshaping.
+// large square where all work is runner reshaping. This is the per-round
+// hot path the scratch-state reuse (DESIGN.md §5) keeps allocation-free;
+// the bench trajectory pins the same body (internal/benchdefs) as
+// "StepSquare/n=512".
 func BenchmarkRunReshape(b *testing.B) {
-	mk := func() *core.Algorithm {
-		ch, err := gridgather.Rectangle(128, 128)
-		if err != nil {
-			b.Fatal(err)
-		}
-		alg, err := core.New(ch, core.DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		return alg
-	}
-	alg := mk()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if alg.Gathered() {
-			b.StopTimer()
-			alg = mk()
-			b.StartTimer()
-		}
-		if _, err := alg.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchdefs.StepSquare512(b)
 }
 
 // BenchmarkStartDetection — the per-robot cost of the Fig 5 run-start

@@ -13,6 +13,15 @@
 //	gatherbench -quick -csv      # fast smoke run, CSV output
 //	gatherbench -out results.md  # write to a file
 //	gatherbench -parallel 8      # eight pool workers (0 = GOMAXPROCS)
+//
+// Besides the experiment suite, gatherbench maintains the repo's
+// performance trajectory (BENCH_*.json, see internal/benchio): -bench-out
+// measures the pinned benchmark subset and writes the JSON snapshot;
+// -bench-against compares a fresh measurement with a committed snapshot
+// and exits non-zero on staleness or an allocs/op regression (> 20%).
+//
+//	gatherbench -bench-out BENCH_PR2.json -bench-label PR2
+//	gatherbench -bench-against BENCH_PR2.json     # the CI bench-smoke gate
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"gridgather/internal/benchio"
 	"gridgather/internal/experiments"
 	"gridgather/internal/parallel"
 )
@@ -37,8 +47,21 @@ func main() {
 		out     = flag.String("out", "", "output file (default stdout)")
 		workers = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS (results identical for any value)")
 		quiet   = flag.Bool("quiet", false, "suppress the timing summary on stderr")
+
+		benchOut     = flag.String("bench-out", "", "measure the pinned benchmark subset and write the JSON trajectory snapshot to this file (skips the experiment suite)")
+		benchAgainst = flag.String("bench-against", "", "compare a fresh measurement of the pinned subset against this committed snapshot; exit non-zero on staleness or >20% allocs/op regression")
+		benchLabel   = flag.String("bench-label", "dev", "label recorded in the -bench-out snapshot (e.g. PR2)")
+		benchNote    = flag.String("bench-note", "", "semicolon-separated notes recorded in the -bench-out snapshot (context for the trajectory, e.g. the before/after of a perf PR)")
 	)
 	flag.Parse()
+
+	if *benchOut != "" || *benchAgainst != "" {
+		if err := runBenchMode(*benchOut, *benchAgainst, *benchLabel, *benchNote); err != nil {
+			fmt.Fprintln(os.Stderr, "gatherbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
 	for _, tok := range strings.Split(*sizes, ",") {
@@ -70,6 +93,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runBenchMode measures the pinned benchmark subset, optionally writes the
+// trajectory snapshot, and optionally gates against a committed one.
+func runBenchMode(outPath, againstPath, label, notes string) error {
+	fmt.Fprintln(os.Stderr, "gatherbench: measuring the pinned benchmark subset ...")
+	rep, err := pinnedBenchmarks(label)
+	if err != nil {
+		return err
+	}
+	for _, n := range strings.Split(notes, ";") {
+		if n = strings.TrimSpace(n); n != "" {
+			rep.Notes = append(rep.Notes, n)
+		}
+	}
+	for _, e := range rep.Entries {
+		fmt.Fprintf(os.Stderr, "gatherbench:   %-28s %12.0f ns/op %10.0f B/op %8.1f allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	if outPath != "" {
+		if err := benchio.Write(outPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gatherbench: wrote %s\n", outPath)
+	}
+	if againstPath != "" {
+		committed, err := benchio.Read(againstPath)
+		if err != nil {
+			return err
+		}
+		if violations := benchio.Compare(committed, rep, 0.20); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "gatherbench: FAIL:", v)
+			}
+			return fmt.Errorf("%d violation(s) against %s — if intentional, regenerate it with -bench-out", len(violations), againstPath)
+		}
+		fmt.Fprintf(os.Stderr, "gatherbench: OK against %s (%s)\n", againstPath, committed.Label)
+	}
+	return nil
 }
 
 // reportTiming prints the wall-clock/throughput summary to stderr, keeping

@@ -83,20 +83,31 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("gathered %d robots in %d rounds (%.3f rounds/robot, diameter %d)\n",
+	fmt.Print(summarize(res, n, diam))
+}
+
+// summarize renders the human-readable result summary. The output is a
+// pure function of the result — identical runs must print identical
+// summaries (the repo-wide deterministic-output contract), which is why
+// the per-kind and per-reason breakdowns iterate fixed enum orders rather
+// than Go's randomised map order.
+func summarize(res sim.Result, n, diam int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gathered %d robots in %d rounds (%.3f rounds/robot, diameter %d)\n",
 		n, res.Rounds, res.RoundsPerRobot(), diam)
-	fmt.Printf("merges: %d (in %d rounds, longest gap %d)\n",
+	fmt.Fprintf(&b, "merges: %d (in %d rounds, longest gap %d)\n",
 		res.TotalMerges, res.TotalMergeRounds, res.LongestMergeGap)
-	fmt.Printf("runs: %d started (%v), max %d active\n",
+	fmt.Fprintf(&b, "runs: %d started (%v), max %d active\n",
 		res.TotalRunsStarted, kindSummary(res), res.MaxActiveRuns)
-	fmt.Printf("run ends: %v\n", endSummary(res))
-	fmt.Printf("pairs: %d started, %d good, %d progress (%d merged, %d cut short), lemma1 %d/%d violations\n",
+	fmt.Fprintf(&b, "run ends: %v\n", endSummary(res))
+	fmt.Fprintf(&b, "pairs: %d started, %d good, %d progress (%d merged, %d cut short), lemma1 %d/%d violations\n",
 		res.Pairs.PairsStarted, res.Pairs.GoodPairs, res.Pairs.ProgressPairs,
 		res.Pairs.ProgressMerged, res.Pairs.ProgressUnresolved,
 		res.Pairs.Lemma1Violations, res.Pairs.Lemma1Windows)
 	if res.Anomalies.Total() > 0 {
-		fmt.Printf("anomalies: %+v\n", res.Anomalies)
+		fmt.Fprintf(&b, "anomalies: %+v\n", res.Anomalies)
 	}
+	return b.String()
 }
 
 func loadChain(inFile, shape string, size int, seed int64) (*chain.Chain, error) {
@@ -116,8 +127,12 @@ func loadChain(inFile, shape string, size int, seed int64) (*chain.Chain, error)
 
 func kindSummary(res sim.Result) string {
 	var parts []string
-	for kind, n := range res.StartsByKind {
-		parts = append(parts, fmt.Sprintf("%v: %d", kind, n))
+	// Fixed StartKind order: iterating the map directly would reorder the
+	// line between identical runs (map iteration order is randomised).
+	for _, kind := range []core.StartKind{core.StartStairway, core.StartCorner} {
+		if n := res.StartsByKind[kind]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%v: %d", kind, n))
+		}
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"gridgather/internal/core"
+	"gridgather/internal/sim"
+)
+
+// fixtureResult builds a result whose per-kind and per-reason maps hold
+// several entries, so any map-order dependence in the summary formatting
+// shows up as output churn.
+func fixtureResult() sim.Result {
+	return sim.Result{
+		Rounds:           357,
+		InitialLen:       256,
+		FinalLen:         2,
+		InitialDiameter:  64,
+		Gathered:         true,
+		TotalMerges:      254,
+		TotalMergeRounds: 200,
+		TotalRunsStarted: 90,
+		MaxActiveRuns:    12,
+		StartsByKind: map[core.StartKind]int{
+			core.StartStairway: 50,
+			core.StartCorner:   40,
+		},
+		EndsByReason: map[core.TerminateReason]int{
+			core.TermMerge:      60,
+			core.TermEndpoint:   20,
+			core.TermSequentRun: 10,
+		},
+	}
+}
+
+// TestSummaryDeterministic renders the summary many times and demands
+// byte-identical output: the "runs started" breakdown used to iterate the
+// StartsByKind map directly, so its order flipped between identical runs.
+func TestSummaryDeterministic(t *testing.T) {
+	res := fixtureResult()
+	want := summarize(res, res.InitialLen, res.InitialDiameter)
+	for i := 0; i < 100; i++ {
+		if got := summarize(res, res.InitialLen, res.InitialDiameter); got != want {
+			t.Fatalf("summary changed between identical runs:\nfirst:\n%s\nrun %d:\n%s", want, i, got)
+		}
+	}
+}
+
+// TestKindSummaryOrder pins the fixed enum order of the breakdown.
+func TestKindSummaryOrder(t *testing.T) {
+	res := fixtureResult()
+	if got, want := kindSummary(res), "stairway: 50, corner: 40"; got != want {
+		t.Errorf("kindSummary = %q, want %q", got, want)
+	}
+	res.StartsByKind = nil
+	if got := kindSummary(res); got != "none" {
+		t.Errorf("kindSummary on empty map = %q, want none", got)
+	}
+}

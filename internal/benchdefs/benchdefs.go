@@ -1,0 +1,113 @@
+// Package benchdefs holds the single-source bodies of the pinned
+// benchmark subset recorded in the repo's BENCH_*.json trajectory
+// (internal/benchio). Both the `go test -bench` suite (bench_test.go at
+// the repo root) and `gatherbench -bench-out` execute these same
+// functions, so the committed trajectory and local benchmark runs always
+// measure identical workloads — the correspondence cannot drift.
+package benchdefs
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/experiments"
+	"gridgather/internal/generate"
+	"gridgather/internal/sim"
+)
+
+// PinnedHarnessWorkers is the fixed worker count of the pinned harness
+// benchmark: allocation counts must be comparable across machines and
+// committed reports, so the pool size does not float with GOMAXPROCS.
+const PinnedHarnessWorkers = 4
+
+// GatherSquare512 is the acceptance benchmark of the allocation work: a
+// full gathering run on the 512-robot square, cloning the reference chain
+// per iteration. Reports the gathering rounds as a metric.
+func GatherSquare512(b *testing.B) {
+	ref, err := generate.Rectangle(128, 128) // boundary of 4*128 = 512 robots
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Gather(ref.Clone(), sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// StepSquare512 measures the steady-state per-round cost of
+// core.Algorithm.Step — the hot path the scratch-state reuse (DESIGN.md
+// §5) keeps allocation-free. Rebuilds (off-timer) restart the workload
+// whenever it gathers.
+func StepSquare512(b *testing.B) {
+	mk := func() (*core.Algorithm, *chain.Chain) {
+		ch, err := generate.Rectangle(128, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg, err := core.New(ch, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return alg, ch
+	}
+	alg, _ := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if alg.Gathered() {
+			b.StopTimer()
+			alg, _ = mk()
+			b.StartTimer()
+		}
+		if _, err := alg.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// PlanMergesReuse4096 measures the reusable merge-pattern scan on a large
+// tangled chain — the path Algorithm.Step takes every round (steady
+// state: zero allocations).
+func PlanMergesReuse4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ch, err := generate.RandomClosedWalk(4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := core.NewMergePlan()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.Plan(ch, core.DefaultMaxMergeLen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ParallelHarnessQuickE1 pushes the quick E1 grid through the worker pool
+// at the pinned worker count and reports task throughput (the denominator
+// of the harness's scaling story, DESIGN.md §5).
+func ParallelHarnessQuickE1(b *testing.B) {
+	p := experiments.Params{Seed: 1, Trials: 2, Sizes: []int{64, 128}, Parallel: PinnedHarnessWorkers}
+	var tasks int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := experiments.E1Theorem1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = o.Tasks
+	}
+	b.ReportMetric(float64(tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks_per_sec")
+}

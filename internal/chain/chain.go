@@ -205,7 +205,13 @@ type MergeEvent struct {
 // Merging stops early when only two robots remain: a 2-cycle is a gathered
 // configuration and needs no further shortening.
 func (c *Chain) ResolveMerges() []MergeEvent {
-	var events []MergeEvent
+	return c.AppendResolveMerges(nil)
+}
+
+// AppendResolveMerges is ResolveMerges appending into dst, so per-round
+// callers can reuse one event buffer instead of allocating every round.
+func (c *Chain) AppendResolveMerges(dst []MergeEvent) []MergeEvent {
+	events := dst
 	for len(c.robots) > 2 {
 		merged := false
 		for i := 0; i < len(c.robots); i++ {
@@ -352,9 +358,16 @@ type EdgeRun struct {
 // at least one direction change exists; for degenerate 2-cycles it returns
 // the two single-edge runs.
 func (c *Chain) EdgeRuns() []EdgeRun {
+	return c.AppendEdgeRuns(nil)
+}
+
+// AppendEdgeRuns is EdgeRuns appending into dst. Per-round callers (merge
+// detection runs every round) pass a reused buffer sliced to length zero,
+// making the decomposition allocation-free in steady state.
+func (c *Chain) AppendEdgeRuns(dst []EdgeRun) []EdgeRun {
 	n := len(c.robots)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	// Find a break: an index where the edge direction changes.
 	start := -1
@@ -367,9 +380,9 @@ func (c *Chain) EdgeRuns() []EdgeRun {
 	if start == -1 {
 		// All edges identical — impossible for a closed chain, but keep a
 		// defined behaviour for robustness.
-		return []EdgeRun{{Start: 0, Len: n, Dir: c.Edge(0)}}
+		return append(dst, EdgeRun{Start: 0, Len: n, Dir: c.Edge(0)})
 	}
-	var runs []EdgeRun
+	runs := dst
 	i := start
 	for counted := 0; counted < n; {
 		dir := c.Edge(i)

@@ -45,11 +45,18 @@ func (p MergePattern) WhiteAfter() int { return p.FirstBlack + p.Len }
 // each robot's local detection: every pattern it reports lies within the
 // view of each of its participants.
 func DetectMerges(ch *chain.Chain, maxLen int) []MergePattern {
+	return appendMergePatterns(nil, ch, maxLen, ch.EdgeRuns())
+}
+
+// appendMergePatterns is DetectMerges appending into dst, with the chain's
+// edge-run decomposition supplied by the caller (so the per-round path can
+// reuse both buffers).
+func appendMergePatterns(dst []MergePattern, ch *chain.Chain, maxLen int, edgeRuns []chain.EdgeRun) []MergePattern {
 	n := ch.Len()
 	if n < 3 {
-		return nil
+		return dst
 	}
-	var patterns []MergePattern
+	patterns := dst
 
 	// k = 1 spikes: a direction reversal at a single robot. Its two
 	// neighbours necessarily coincide (both at black + out-edge).
@@ -64,7 +71,7 @@ func DetectMerges(ch *chain.Chain, maxLen int) []MergePattern {
 
 	// k >= 2: maximal straight edge runs flanked by an anti-parallel
 	// perpendicular edge pair (the U shape).
-	for _, run := range ch.EdgeRuns() {
+	for _, run := range edgeRuns {
 		k := run.Len + 1 // robots in the straight segment
 		if k < 2 || k > maxLen || k+2 > n {
 			continue
@@ -103,6 +110,22 @@ type MergePlan struct {
 	Suppressed   int
 	Hops         map[*chain.Robot]grid.Vec
 	Participants map[*chain.Robot]bool
+
+	// Reused scratch (valid only during Plan): spike whites of the current
+	// round and the chain's edge-run decomposition. Keeping them here lets
+	// a per-round caller replan every round without allocating.
+	spikeWhites map[*chain.Robot]bool
+	edgeRuns    []chain.EdgeRun
+}
+
+// NewMergePlan returns an empty plan whose Plan method can be called once
+// per round, reusing all internal storage.
+func NewMergePlan() *MergePlan {
+	return &MergePlan{
+		Hops:         make(map[*chain.Robot]grid.Vec),
+		Participants: make(map[*chain.Robot]bool),
+		spikeWhites:  make(map[*chain.Robot]bool),
+	}
 }
 
 // Empty reports whether no merge is possible anywhere on the chain (the
@@ -114,13 +137,29 @@ func (p *MergePlan) Empty() bool { return len(p.Patterns) == 0 }
 // executing patterns assign conflicting hops along the same axis to one
 // robot, which the pattern geometry rules out; the check guards the
 // implementation, not the model.
+//
+// Each call allocates a fresh plan; per-round callers should allocate one
+// with NewMergePlan and call its Plan method instead.
 func PlanMerges(ch *chain.Chain, maxLen int) (*MergePlan, error) {
-	plan := &MergePlan{
-		Patterns:     DetectMerges(ch, maxLen),
-		Hops:         make(map[*chain.Robot]grid.Vec),
-		Participants: make(map[*chain.Robot]bool),
+	plan := NewMergePlan()
+	if err := plan.Plan(ch, maxLen); err != nil {
+		return nil, err
 	}
-	spikeWhites := make(map[*chain.Robot]bool)
+	return plan, nil
+}
+
+// Plan recomputes the plan for the chain's current configuration, reusing
+// the plan's maps and slices (cleared first). The plan's contents are valid
+// until the next Plan call.
+func (plan *MergePlan) Plan(ch *chain.Chain, maxLen int) error {
+	plan.edgeRuns = ch.AppendEdgeRuns(plan.edgeRuns[:0])
+	plan.Patterns = appendMergePatterns(plan.Patterns[:0], ch, maxLen, plan.edgeRuns)
+	plan.Executing = plan.Executing[:0]
+	plan.Suppressed = 0
+	clear(plan.Hops)
+	clear(plan.Participants)
+	clear(plan.spikeWhites)
+	spikeWhites := plan.spikeWhites
 	for _, pat := range plan.Patterns {
 		if pat.Len == 1 {
 			spikeWhites[ch.At(pat.WhiteBefore())] = true
@@ -151,10 +190,10 @@ func PlanMerges(ch *chain.Chain, maxLen int) (*MergePlan, error) {
 			r := ch.At(pat.FirstBlack + j)
 			prev := plan.Hops[r]
 			if (pat.Hop.X != 0 && prev.X != 0) || (pat.Hop.Y != 0 && prev.Y != 0) {
-				return nil, fmt.Errorf("core: conflicting merge hops %v and %v on robot %d", prev, pat.Hop, r.ID)
+				return fmt.Errorf("core: conflicting merge hops %v and %v on robot %d", prev, pat.Hop, r.ID)
 			}
 			plan.Hops[r] = prev.Add(pat.Hop)
 		}
 	}
-	return plan, nil
+	return nil
 }

@@ -133,13 +133,17 @@ func EndpointAhead(s view.Snapshot, d int) (endOffset int, ok bool) {
 	}
 	sameAxis := func(v grid.Vec) bool { return v.Parallel(axis) }
 
-	// Group the edges ahead into maximal runs of identical edges.
+	// Group the edges ahead into maximal runs of identical edges. At the
+	// paper's V = 11 at most 11 groups exist, so a small stack-resident
+	// buffer keeps the per-decision hot path allocation-free; only the
+	// unbounded instrumentation views (pairStarts) can spill to the heap.
 	type group struct {
 		dir      grid.Vec
 		len      int
 		endRobot int // chain offset (in units of d) of the last robot of the group
 	}
-	var groups []group
+	var groupBuf [16]group
+	groups := groupBuf[:0]
 	for j := 0; j < maxEdges; j++ {
 		e := s.Edge(j*d, d)
 		if len(groups) > 0 && groups[len(groups)-1].dir == e {

@@ -52,6 +52,33 @@ func (k StartKind) String() string {
 	return "corner"
 }
 
+// MarshalText encodes the kind as its name, so JSON maps keyed by
+// StartKind (e.g. sim.Result.StartsByKind) serialise self-describingly
+// and stay stable if the enum values are ever reordered. Unknown values
+// are an error, not a silent "corner": a future kind added without
+// updating this codec must fail loudly instead of merging JSON keys.
+func (k StartKind) MarshalText() ([]byte, error) {
+	switch k {
+	case StartStairway, StartCorner:
+		return []byte(k.String()), nil
+	default:
+		return nil, fmt.Errorf("core: cannot marshal unknown start kind %d", int(k))
+	}
+}
+
+// UnmarshalText decodes a kind name written by MarshalText.
+func (k *StartKind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "stairway":
+		*k = StartStairway
+	case "corner":
+		*k = StartCorner
+	default:
+		return fmt.Errorf("core: unknown start kind %q", text)
+	}
+	return nil
+}
+
 // TerminateReason records which of the paper's Table 1 conditions (or which
 // engine safeguard) ended a run.
 type TerminateReason int
@@ -102,6 +129,39 @@ func (t TerminateReason) String() string {
 	default:
 		return fmt.Sprintf("TerminateReason(%d)", int(t))
 	}
+}
+
+// terminateReasonNames maps every named reason to its String form; shared
+// by the text marshalling in both directions.
+var terminateReasonNames = map[TerminateReason]string{
+	TermSequentRun:     "sequent-run-ahead",
+	TermEndpoint:       "quasi-line-endpoint",
+	TermMerge:          "merge-participation",
+	TermPassTargetGone: "passing-target-removed",
+	TermOpTargetGone:   "operation-target-removed",
+	TermHostRemoved:    "host-removed",
+	TermStuck:          "stuck",
+}
+
+// MarshalText encodes the reason as its name, so JSON maps keyed by
+// TerminateReason (e.g. sim.Result.EndsByReason) serialise
+// self-describingly and stay stable across enum reordering.
+func (t TerminateReason) MarshalText() ([]byte, error) {
+	if name, ok := terminateReasonNames[t]; ok {
+		return []byte(name), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown terminate reason %d", int(t))
+}
+
+// UnmarshalText decodes a reason name written by MarshalText.
+func (t *TerminateReason) UnmarshalText(text []byte) error {
+	for reason, name := range terminateReasonNames {
+		if name == string(text) {
+			*t = reason
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown terminate reason %q", text)
 }
 
 // Run is an active run state (paper §3.2): it lives on one robot, has a

@@ -199,7 +199,8 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 // approachingRunAt returns a run on the robot at view offset k moving
 // towards the observer (direction opposite to dir), or nil.
 func (a *Algorithm) approachingRunAt(s view.Snapshot, k, dir int) *Run {
-	for _, r := range a.byRobot[s.Robot(k)] {
+	h := a.byRobot[s.Robot(k)]
+	for _, r := range h.stored() {
 		if r.Dir == -dir && !r.justStarted {
 			return r
 		}

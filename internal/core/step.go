@@ -8,6 +8,52 @@ import (
 	"gridgather/internal/view"
 )
 
+// hostRuns is the per-robot run registry entry: a fixed-capacity slot array
+// instead of a heap slice, so the registry rebuild at the end of every round
+// allocates nothing. A robot stores at most two run states (the paper's
+// constant-memory bound); the engine's hard invariant rejects more than
+// three, so four slots cover every state the simulator can reach. Should a
+// defensive path ever overflow them, the count keeps the truth (the
+// occupancy audit flags it) and only the excess pointers are dropped.
+type hostRuns struct {
+	n    int // true number of hosted runs (may exceed the stored slots)
+	runs [4]*Run
+}
+
+// add records a run on the host, dropping the pointer if all slots are full.
+func (h *hostRuns) add(r *Run) {
+	if h.n < len(h.runs) {
+		h.runs[h.n] = r
+	}
+	h.n++
+}
+
+// stored returns the retained run pointers.
+func (h *hostRuns) stored() []*Run {
+	return h.runs[:min(h.n, len(h.runs))]
+}
+
+// stepScratch is the Algorithm's reusable per-round working state. Every
+// map and slice is cleared (not re-made) at the start of the phase using
+// it, which keeps the steady-state round loop allocation-free; see
+// DESIGN.md §5 for the reuse rules. Nothing here survives a round as
+// meaningful state — the chain, the run registry and the round counter are
+// the only true state of the algorithm, which is why scratch reuse cannot
+// affect determinism.
+type stepScratch struct {
+	decisions   []runDecision
+	pending     []pendingStart
+	startHops   map[*chain.Robot]grid.Vec
+	hops        map[*chain.Robot]grid.Vec
+	runnerHop   map[*chain.Robot]bool
+	survivorOf  map[*chain.Robot]*chain.Robot
+	pairKey     map[[2]int]int
+	runViews    []view.RunView
+	starts      []StartEvent
+	ends        []EndEvent
+	mergeEvents []chain.MergeEvent
+}
+
 // Algorithm executes the paper's gathering strategy on one chain. It owns
 // the run registry and advances the configuration one FSYNC round per Step
 // call, performing for every robot the three checks of Fig 15: merge, run
@@ -16,10 +62,15 @@ type Algorithm struct {
 	cfg      Config
 	ch       *chain.Chain
 	runs     []*Run
-	byRobot  map[*chain.Robot][]*Run
+	byRobot  map[*chain.Robot]hostRuns
 	round    int
 	nextRun  int
 	nextPair int
+
+	// plan and scratch are reused round over round (cleared, never
+	// re-allocated); their contents are valid only within one Step call.
+	plan    *MergePlan
+	scratch stepScratch
 
 	// anomalies accumulates defensive-path counts for the current round;
 	// Step moves them into the report.
@@ -38,7 +89,15 @@ func New(ch *chain.Chain, cfg Config) (*Algorithm, error) {
 	return &Algorithm{
 		cfg:     cfg,
 		ch:      ch,
-		byRobot: make(map[*chain.Robot][]*Run),
+		byRobot: make(map[*chain.Robot]hostRuns),
+		plan:    NewMergePlan(),
+		scratch: stepScratch{
+			startHops:  make(map[*chain.Robot]grid.Vec),
+			hops:       make(map[*chain.Robot]grid.Vec),
+			runnerHop:  make(map[*chain.Robot]bool),
+			survivorOf: make(map[*chain.Robot]*chain.Robot),
+			pairKey:    make(map[[2]int]int),
+		},
 	}, nil
 }
 
@@ -57,17 +116,23 @@ func (a *Algorithm) Runs() []*Run { return a.runs }
 
 // RunsOn implements view.RunLocator: the run states visible on a robot.
 // Runs started in the current round are not yet visible, matching FSYNC
-// semantics (they exist from the next look phase on).
+// semantics (they exist from the next look phase on). The returned slice
+// is a shared scratch buffer, valid until the next RunsOn call; the view
+// predicates (HasRunTowards/HasRunAway) consume it immediately.
 func (a *Algorithm) RunsOn(r *chain.Robot) []view.RunView {
-	rs := a.byRobot[r]
-	if len(rs) == 0 {
+	h := a.byRobot[r]
+	if h.n == 0 {
 		return nil
 	}
-	out := make([]view.RunView, 0, len(rs))
-	for _, run := range rs {
+	out := a.scratch.runViews[:0]
+	for _, run := range h.stored() {
 		if !run.justStarted {
 			out = append(out, view.RunView{Dir: run.Dir})
 		}
+	}
+	a.scratch.runViews = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -99,7 +164,8 @@ func (a *Algorithm) pairStarts(pending []pendingStart) {
 		return
 	}
 	n := a.ch.Len()
-	byKey := make(map[[2]int]int, len(pending)) // (idx, dir) -> pending slot
+	byKey := a.scratch.pairKey // (idx, dir) -> pending slot
+	clear(byKey)
 	for i, p := range pending {
 		byKey[[2]int{p.idx, p.dir}] = i
 	}
@@ -149,12 +215,32 @@ func (a *Algorithm) InjectRun(idx, dir int) *Run {
 	}
 	a.nextRun++
 	a.runs = append(a.runs, run)
-	a.byRobot[host] = append(a.byRobot[host], run)
+	h := a.byRobot[host]
+	h.add(run)
+	a.byRobot[host] = h
 	return run
+}
+
+// resolveAlive follows merge survivor links (recorded in the scratch
+// survivor map for the current round) until it reaches a robot still on
+// the chain. maxHops bounds the walk by the number of merge events; a
+// longer chain of links would be a cycle, which cannot happen.
+func (a *Algorithm) resolveAlive(r *chain.Robot, maxHops int) *chain.Robot {
+	for hops := 0; r != nil && !a.ch.Contains(r); hops++ {
+		if hops > maxHops {
+			return nil
+		}
+		r = a.scratch.survivorOf[r]
+	}
+	return r
 }
 
 // Step executes one synchronous round and reports what happened. Stepping
 // a gathered configuration is a no-op that reports Gathered.
+//
+// The report's event slices (Starts, Ends, MergeEvents) are backed by
+// scratch buffers reused by the next Step call; callers that retain them
+// across rounds must copy (see DESIGN.md §5).
 func (a *Algorithm) Step() (RoundReport, error) {
 	rep := RoundReport{Round: a.round}
 	if a.ch.Gathered() {
@@ -163,14 +249,15 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		return rep, nil
 	}
 	a.anomalies = Anomalies{}
+	sc := &a.scratch
 
 	// ---- Look & compute -------------------------------------------------
 	// 1. Merge patterns (Fig 15 step 1). Participants suspend run
 	//    operations; blacks hop towards the whites.
-	plan, err := PlanMerges(a.ch, a.cfg.MaxMergeLen)
-	if err != nil {
+	if err := a.plan.Plan(a.ch, a.cfg.MaxMergeLen); err != nil {
 		return rep, err
 	}
+	plan := a.plan
 	rep.MergePatterns = len(plan.Patterns)
 
 	// 2. Run operations (Fig 15 step 2), decided against the frozen
@@ -180,17 +267,17 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	for _, run := range a.runs {
 		run.justStarted = false
 	}
-	decisions := make([]runDecision, 0, len(a.runs))
+	decisions := sc.decisions[:0]
 	for _, run := range a.runs {
 		decisions = append(decisions, a.computeRunDecision(run, plan))
 	}
+	sc.decisions = decisions
 
 	// 3. Run starts (Fig 15 step 3): every L-th round, robots matching the
 	//    Fig 5 patterns start runs, unless they take part in a merge.
-	var (
-		pending   []pendingStart
-		startHops = make(map[*chain.Robot]grid.Vec)
-	)
+	pending := sc.pending[:0]
+	startHops := sc.startHops
+	clear(startHops)
 	if !a.cfg.DisableRunStarts &&
 		a.round%a.cfg.RunPeriod == 0 && a.ch.Len() >= MinChainForRuns &&
 		(!a.cfg.SequentialRuns || len(a.runs) == 0) {
@@ -204,7 +291,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			if !ok {
 				continue
 			}
-			if len(a.byRobot[r])+len(spec.Dirs) > 2 {
+			if a.byRobot[r].n+len(spec.Dirs) > 2 {
 				continue // a robot stores at most two run states
 			}
 			for _, dir := range spec.Dirs {
@@ -218,18 +305,21 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		}
 		a.pairStarts(pending)
 	}
+	sc.pending = pending
 
 	// ---- Move -----------------------------------------------------------
 	// Collect all hops; apply simultaneously. A robot receives at most one
 	// hop source: merge participants have no active run decisions or
 	// starts, runner/start hops collide only in anomalous situations,
 	// where both are suppressed.
-	hops := make(map[*chain.Robot]grid.Vec, len(plan.Hops))
+	hops := sc.hops
+	clear(hops)
 	for r, h := range plan.Hops {
 		hops[r] = h
 	}
 	rep.MergeHops = len(plan.Hops)
-	runnerHopped := make(map[*chain.Robot]bool)
+	runnerHopped := sc.runnerHop
+	clear(runnerHopped)
 	for i := range decisions {
 		d := &decisions[i]
 		if d.terminate || d.hop.IsZero() {
@@ -266,29 +356,23 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	}
 
 	// ---- Merge resolution ------------------------------------------------
-	events := a.ch.ResolveMerges()
+	events := a.ch.AppendResolveMerges(sc.mergeEvents[:0])
+	sc.mergeEvents = events
 	rep.MergeEvents = events
-	survivorOf := make(map[*chain.Robot]*chain.Robot, len(events))
+	survivorOf := sc.survivorOf
+	clear(survivorOf)
 	for _, ev := range events {
 		survivorOf[ev.Removed] = ev.Survivor
 	}
-	resolveAlive := func(r *chain.Robot) *chain.Robot {
-		for hops := 0; r != nil && !a.ch.Contains(r); hops++ {
-			if hops > len(events) {
-				return nil
-			}
-			r = survivorOf[r]
-		}
-		return r
-	}
 
 	// ---- Apply run decisions ----------------------------------------------
+	ends := sc.ends[:0]
 	alive := a.runs[:0]
 	for i := range decisions {
 		d := &decisions[i]
 		run := d.run
 		if d.terminate {
-			rep.Ends = append(rep.Ends, EndEvent{
+			ends = append(ends, EndEvent{
 				RunID: run.ID, Reason: d.reason,
 				RobotID: run.Host.ID, MergeRobot: d.mergeRobot,
 			})
@@ -297,9 +381,9 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			}
 			continue
 		}
-		next := resolveAlive(d.advanceTo)
+		next := a.resolveAlive(d.advanceTo, len(events))
 		if next == nil {
-			rep.Ends = append(rep.Ends, EndEvent{
+			ends = append(ends, EndEvent{
 				RunID: run.ID, Reason: TermStuck,
 				RobotID: run.Host.ID, MergeRobot: -1,
 			})
@@ -323,12 +407,15 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		alive = append(alive, run)
 	}
 	a.runs = alive
+	sc.ends = ends
+	rep.Ends = ends
 
 	// Materialise run starts. The starting robots never take part in a
 	// merge (excluded above), so they are still on the chain; resolveAlive
 	// is a defensive guard only.
+	starts := sc.starts[:0]
 	for _, ps := range pending {
-		r := resolveAlive(ps.robot)
+		r := a.resolveAlive(ps.robot, len(events))
 		if r == nil {
 			continue
 		}
@@ -353,19 +440,25 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			}
 		}
 		a.runs = append(a.runs, run)
-		rep.Starts = append(rep.Starts, StartEvent{
+		starts = append(starts, StartEvent{
 			RunID: run.ID, RobotID: r.ID, Dir: ps.dir, Kind: ps.kind,
 			Pair: ps.pair, Good: ps.good,
 		})
 	}
+	sc.starts = starts
+	rep.Starts = starts
 
-	// Rebuild the run registry and audit occupancy.
-	a.byRobot = make(map[*chain.Robot][]*Run, len(a.runs))
+	// Rebuild the run registry and audit occupancy. Clearing keeps the
+	// map's storage (and drops the previous round's keys, so robots
+	// removed by merges are not retained).
+	clear(a.byRobot)
 	for _, run := range a.runs {
-		a.byRobot[run.Host] = append(a.byRobot[run.Host], run)
+		h := a.byRobot[run.Host]
+		h.add(run)
+		a.byRobot[run.Host] = h
 	}
-	for _, rs := range a.byRobot {
-		if len(rs) > 2 {
+	for _, h := range a.byRobot {
+		if h.n > 2 {
 			a.anomalies.TripleOccupancy++
 		}
 	}

@@ -56,6 +56,7 @@ type pairTracker struct {
 	runToPair map[int]*PairRecord
 	creditors map[[2]int]int // merge key -> pair ID of first creditor
 	lastMerge int            // round of the most recent merge, -1 initially
+	seen      map[int]bool   // per-round scratch: run IDs mapped this round
 	stats     PairStats
 }
 
@@ -66,6 +67,7 @@ func newPairTracker(period int) *pairTracker {
 		pairs:     make(map[int]*PairRecord),
 		runToPair: make(map[int]*PairRecord),
 		creditors: make(map[[2]int]int),
+		seen:      make(map[int]bool),
 		lastMerge: -1,
 	}
 }
@@ -79,7 +81,10 @@ func (t *pairTracker) observe(rep core.RoundReport, chainLenBefore int) {
 	mergeFree := !mergedNow && (t.lastMerge == -1 || round-t.lastMerge >= t.period)
 
 	goodStarted := false
-	seen := map[int]bool{}
+	if len(rep.Starts) > 0 {
+		clear(t.seen)
+	}
+	seen := t.seen
 	for _, s := range rep.Starts {
 		if s.Pair < 0 {
 			continue

@@ -1,0 +1,110 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gridgather/internal/core"
+	"gridgather/internal/generate"
+	"gridgather/internal/sim"
+)
+
+// TestResultJSONRoundTrip marshals a real simulation result and decodes it
+// back: the enum-keyed maps must serialise with their names (not opaque
+// ints) and survive the round trip unchanged.
+func TestResultJSONRoundTrip(t *testing.T) {
+	ch, err := generate.Rectangle(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Gather(ch, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StartsByKind) == 0 || len(res.EndsByReason) == 0 {
+		t.Fatalf("fixture run produced no enum-keyed entries: %+v", res)
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{`"corner"`, `"merge-participation"`} {
+		if !strings.Contains(string(data), name) {
+			t.Errorf("JSON lacks named enum key %s:\n%s", name, data)
+		}
+	}
+	// Numeric keys would be the old opaque serialisation leaking through.
+	for _, opaque := range []string{`"0":`, `"1":`, `"2":`, `"3":`} {
+		if strings.Contains(string(data), opaque) {
+			t.Errorf("JSON still contains numeric enum key %s:\n%s", opaque, data)
+		}
+	}
+	// Both start kinds, independent of which ones this workload produced.
+	kinds, err := json.Marshal(map[core.StartKind]int{core.StartStairway: 1, core.StartCorner: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"corner":2,"stairway":1}`; string(kinds) != want {
+		t.Errorf("StartKind map JSON = %s, want %s", kinds, want)
+	}
+
+	var back sim.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("round trip changed the result:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+// TestEnumTextUnknown pins the error paths of the text codecs.
+func TestEnumTextUnknown(t *testing.T) {
+	var k core.StartKind
+	if err := k.UnmarshalText([]byte("zigzag")); err == nil {
+		t.Error("UnmarshalText accepted an unknown start kind")
+	}
+	var r core.TerminateReason
+	if err := r.UnmarshalText([]byte("vanished")); err == nil {
+		t.Error("UnmarshalText accepted an unknown terminate reason")
+	}
+	if _, err := core.TerminateReason(0).MarshalText(); err == nil {
+		t.Error("MarshalText accepted the zero (unnamed) terminate reason")
+	}
+	if _, err := core.StartKind(7).MarshalText(); err == nil {
+		t.Error("MarshalText accepted an out-of-range start kind")
+	}
+}
+
+// TestDNFRecordsFinalLen: an aborted run (watchdog) must still report the
+// surviving chain length — ablation experiments record honest DNF rows,
+// not zero robots.
+func TestDNFRecordsFinalLen(t *testing.T) {
+	ch, err := generate.Rectangle(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ch.Len()
+	res, err := sim.Gather(ch, sim.Options{
+		MaxRounds: 3,
+		Config:    core.Config{ViewingPathLength: 11, RunPeriod: 13, MaxMergeLen: 10, DisableRunStarts: true},
+	})
+	if !errors.Is(err, sim.ErrWatchdog) {
+		t.Fatalf("expected watchdog DNF, got %v", err)
+	}
+	if res.Gathered {
+		t.Error("aborted run reported Gathered")
+	}
+	if res.FinalLen == 0 {
+		t.Error("aborted run reported 0 surviving robots (FinalLen unset)")
+	}
+	if res.FinalLen > n || res.FinalLen < 2 {
+		t.Errorf("implausible FinalLen %d for n=%d", res.FinalLen, n)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("aborted run reported %d rounds, want 3", res.Rounds)
+	}
+}

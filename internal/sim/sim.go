@@ -112,7 +112,10 @@ type Engine struct {
 	tracker *pairTracker
 
 	mergeGap int
-	prevPos  map[*chain.Robot]grid.Vec
+	// prevPos and occupancy are per-round scratch for the invariant
+	// checks, cleared and refilled instead of re-allocated (DESIGN.md §5).
+	prevPos   map[*chain.Robot]grid.Vec
+	occupancy map[*chain.Robot]int
 }
 
 // NewEngine builds an engine for the chain. The chain is owned by the
@@ -194,12 +197,17 @@ func (e *Engine) Step() (bool, error) {
 	return true, nil
 }
 
-// Run executes rounds until the chain gathers or an error occurs.
+// Run executes rounds until the chain gathers or an error occurs. On an
+// abort (watchdog, invariant violation, algorithm error) the result still
+// records the rounds executed and the surviving chain length, with
+// Gathered left false — DNF rows in the ablation experiments report the
+// honest end state instead of zero robots.
 func (e *Engine) Run() (Result, error) {
 	for {
 		cont, err := e.Step()
 		if err != nil {
 			e.res.Rounds = e.alg.Round()
+			e.res.FinalLen = e.Chain().Len()
 			e.res.Pairs = e.tracker.finish()
 			return e.res, err
 		}
@@ -241,7 +249,11 @@ func (e *Engine) account(rep core.RoundReport) {
 
 func (e *Engine) snapshotPositions() {
 	ch := e.Chain()
-	e.prevPos = make(map[*chain.Robot]grid.Vec, ch.Len())
+	if e.prevPos == nil {
+		e.prevPos = make(map[*chain.Robot]grid.Vec, ch.Len())
+	} else {
+		clear(e.prevPos)
+	}
 	for _, r := range ch.Robots() {
 		e.prevPos[r] = r.Pos
 	}
@@ -268,14 +280,18 @@ func (e *Engine) checkInvariants(rep core.RoundReport) error {
 			return fmt.Errorf("%w: robot %d moved %v in one round", ErrInvariant, r.ID, r.Pos.Sub(prev))
 		}
 	}
-	occupancy := make(map[*chain.Robot]int)
+	if e.occupancy == nil {
+		e.occupancy = make(map[*chain.Robot]int)
+	} else {
+		clear(e.occupancy)
+	}
 	for _, run := range e.alg.Runs() {
 		if !ch.Contains(run.Host) {
 			return fmt.Errorf("%w: run %d hosted on removed robot", ErrInvariant, run.ID)
 		}
-		occupancy[run.Host]++
-		if occupancy[run.Host] > 3 {
-			return fmt.Errorf("%w: robot %d hosts %d runs", ErrInvariant, run.Host.ID, occupancy[run.Host])
+		e.occupancy[run.Host]++
+		if e.occupancy[run.Host] > 3 {
+			return fmt.Errorf("%w: robot %d hosts %d runs", ErrInvariant, run.Host.ID, e.occupancy[run.Host])
 		}
 	}
 	return nil

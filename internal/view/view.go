@@ -33,6 +33,12 @@ type RunView struct {
 
 // RunLocator reports the run states visible on a robot. The engine's run
 // registry implements it; tests may substitute fakes.
+//
+// Buffer contract: implementations may return a shared scratch slice that
+// is only valid until the next RunsOn call (the engine's registry does, to
+// keep the per-round hot path allocation-free). Consumers must finish
+// iterating one result before requesting another; the Snapshot predicates
+// below all do.
 type RunLocator interface {
 	RunsOn(r *chain.Robot) []RunView
 }
@@ -88,7 +94,8 @@ func (s Snapshot) Edge(k, d int) grid.Vec {
 	return s.Rel(k + d).Sub(s.Rel(k))
 }
 
-// Runs returns the run states visible on the robot at offset k.
+// Runs returns the run states visible on the robot at offset k. The slice
+// follows the RunLocator buffer contract: valid until the next Runs call.
 func (s Snapshot) Runs(k int) []RunView {
 	s.check(k)
 	return s.runs.RunsOn(s.ch.At(s.center + k))
