@@ -17,7 +17,7 @@ import (
 // core.Algorithm.Step on a mid-size square (n = 512). Rounds that start
 // runs allocate the new Run objects (real state, every L-th round) and the
 // reusable buffers may still grow early on; everything else — merge
-// planning, decisions, hop maps, registry rebuild, report slices — must
+// planning, decisions, hop tables, registry rebuild, report slices — must
 // come from reused scratch. The bound is ~4x the measured steady-state
 // average (≈2 allocs/round), far below the ~69 allocs/round of the
 // allocate-per-round implementation it guards against.

@@ -44,7 +44,9 @@ func gatherBench(b *testing.B, mk func() *gridgather.Chain, opts gridgather.Opti
 }
 
 // BenchmarkTheorem1GatherSquare — experiment E1 on square rings (the
-// run-driven workload): rounds grow linearly with n.
+// run-driven workload): rounds grow linearly with n. The n=4096 size
+// (pinned in the bench trajectory via internal/benchdefs) became practical
+// with the handle/SoA chain core; see DESIGN.md §6.
 func BenchmarkTheorem1GatherSquare(b *testing.B) {
 	for _, side := range []int{32, 64, 128, 256} {
 		b.Run(fmt.Sprintf("n=%d", 4*side), func(b *testing.B) {
@@ -57,6 +59,7 @@ func BenchmarkTheorem1GatherSquare(b *testing.B) {
 			}, gridgather.Options{})
 		})
 	}
+	b.Run("n=4096", benchdefs.GatherSquare4096)
 }
 
 // BenchmarkTheorem1GatherSpiral — experiment E1 on spirals (the classic
@@ -166,6 +169,14 @@ func BenchmarkMergeDetection(b *testing.B) {
 // "PlanMergesReuse/n=4096").
 func BenchmarkMergeDetectionReuse(b *testing.B) {
 	benchdefs.PlanMergesReuse4096(b)
+}
+
+// BenchmarkMergeResolutionSeeded — large-n merge resolution through the
+// seeded O(#moved + #merges) path of the handle-linked ring (O(1) splices,
+// no slice shifting; the bench trajectory pins the same body as
+// "ResolveMergesSeeded/n=4096").
+func BenchmarkMergeResolutionSeeded(b *testing.B) {
+	benchdefs.ResolveMergesSeeded4096(b)
 }
 
 // BenchmarkRunReshape — experiment E6 (Fig 6/7/11 mechanics): stepping a

@@ -22,8 +22,10 @@ func pinnedBenchmarks(label string) (*benchio.Report, error) {
 		fn   func(b *testing.B)
 	}{
 		{"Theorem1GatherSquare/n=512", benchdefs.GatherSquare512},
+		{"Theorem1GatherSquare/n=4096", benchdefs.GatherSquare4096},
 		{"StepSquare/n=512", benchdefs.StepSquare512},
 		{"PlanMergesReuse/n=4096", benchdefs.PlanMergesReuse4096},
+		{"ResolveMergesSeeded/n=4096", benchdefs.ResolveMergesSeeded4096},
 		{"ParallelHarness/quickE1", benchdefs.ParallelHarnessQuickE1},
 	} {
 		r := testing.Benchmark(bench.fn)

@@ -20,14 +20,23 @@
 // -bench-against compares a fresh measurement with a committed snapshot
 // and exits non-zero on staleness or an allocs/op regression (> 20%).
 //
-//	gatherbench -bench-out BENCH_PR2.json -bench-label PR2
-//	gatherbench -bench-against BENCH_PR2.json     # the CI bench-smoke gate
+//	gatherbench -bench-out BENCH_PR3.json -bench-label PR3
+//	gatherbench -bench-against BENCH_PR3.json     # the CI bench-smoke gate
+//
+// Perf investigations start from a profile, not a guess: -cpuprofile and
+// -memprofile capture pprof profiles of whichever mode runs (experiment
+// suite or pinned benchmarks); see EXPERIMENTS.md §"Profiling workflow".
+//
+//	gatherbench -bench-out /tmp/b.json -cpuprofile /tmp/cpu.prof
+//	go tool pprof -top /tmp/cpu.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +45,11 @@ import (
 	"gridgather/internal/parallel"
 )
 
-func main() {
+func main() { os.Exit(gatherbenchMain()) }
+
+// gatherbenchMain is main with an exit code, so the profiling defers
+// (-cpuprofile/-memprofile) flush on every path, including failures.
+func gatherbenchMain() int {
 	var (
 		which   = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -52,15 +65,46 @@ func main() {
 		benchAgainst = flag.String("bench-against", "", "compare a fresh measurement of the pinned subset against this committed snapshot; exit non-zero on staleness or >20% allocs/op regression")
 		benchLabel   = flag.String("bench-label", "dev", "label recorded in the -bench-out snapshot (e.g. PR2)")
 		benchNote    = flag.String("bench-note", "", "semicolon-separated notes recorded in the -bench-out snapshot (context for the trajectory, e.g. the before/after of a perf PR)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run (experiment suite or bench mode) to this file; inspect with `go tool pprof` (see EXPERIMENTS.md)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile taken at the end of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gatherbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gatherbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gatherbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live-heap statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "gatherbench:", err)
+			}
+		}()
+	}
 
 	if *benchOut != "" || *benchAgainst != "" {
 		if err := runBenchMode(*benchOut, *benchAgainst, *benchLabel, *benchNote); err != nil {
 			fmt.Fprintln(os.Stderr, "gatherbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
@@ -76,7 +120,7 @@ func main() {
 	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if !*quiet {
@@ -86,13 +130,14 @@ func main() {
 	text := experiments.Render(outs, *csv)
 	if *out == "" {
 		fmt.Print(text)
-		return
+		return 0
 	}
 	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("wrote %s\n", *out)
+	return 0
 }
 
 // runBenchMode measures the pinned benchmark subset, optionally writes the

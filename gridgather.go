@@ -49,8 +49,9 @@ type (
 	Box = grid.Box
 	// Chain is a closed chain of robots.
 	Chain = chain.Chain
-	// Robot is one chain member.
-	Robot = chain.Robot
+	// Handle identifies one chain member for its whole lifetime (robots
+	// are dense handles into the chain's flat storage; see internal/chain).
+	Handle = chain.Handle
 	// Config holds the algorithm parameters (viewing path length, run
 	// period, merge detection length).
 	Config = core.Config

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gridgather/internal/chain"
+	"gridgather/internal/grid"
 )
 
 // Contraction is the global-vision strawman the paper's introduction
@@ -42,9 +43,9 @@ func (g *Contraction) Step() bool {
 	if maxY-minY >= 2 {
 		minY, maxY = minY+1, maxY-1
 	}
-	for _, r := range g.ch.Robots() {
-		r.Pos.X = clamp(r.Pos.X, minX, maxX)
-		r.Pos.Y = clamp(r.Pos.Y, minY, maxY)
+	for _, h := range g.ch.Handles() {
+		p := g.ch.PosOf(h)
+		g.ch.SetPos(h, grid.V(clamp(p.X, minX, maxX), clamp(p.Y, minY, maxY)))
 	}
 	g.ch.ResolveMerges()
 	g.round++

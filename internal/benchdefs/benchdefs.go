@@ -75,6 +75,70 @@ func StepSquare512(b *testing.B) {
 	}
 }
 
+// GatherSquare4096 is the large-n scaling benchmark added with the
+// handle/SoA chain core (DESIGN.md §6): the full gathering run on a
+// 4096-robot square. Pointer-chasing representations made this workload
+// impractically slow to pin; with flat handle storage, O(1) splices and
+// the incremental bounding box it joins the committed trajectory.
+func GatherSquare4096(b *testing.B) {
+	ref, err := generate.Rectangle(1024, 1024) // boundary of 4*1024 = 4096 robots
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Gather(ref.Clone(), sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// ResolveMergesSeeded4096 measures large-n merge resolution through the
+// seeded O(#moved + #merges) path Algorithm.Step uses every round: each
+// iteration co-locates a batch of robots with a chain neighbour and
+// resolves around exactly those movers. The chain shrinks as merges
+// execute and is rebuilt off-timer, like StepSquare512 rebuilds its
+// workload. Steady state allocates nothing.
+func ResolveMergesSeeded4096(b *testing.B) {
+	const n, batch = 4096, 64
+	mk := func() *chain.Chain {
+		rng := rand.New(rand.NewSource(7))
+		ch, err := generate.RandomClosedWalk(n, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ch
+	}
+	ch := mk()
+	rng := rand.New(rand.NewSource(99))
+	seeds := make([]chain.Handle, 0, batch)
+	var events []chain.MergeEvent
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ch.Len() < n/2 {
+			b.StopTimer()
+			ch = mk()
+			rng = rand.New(rand.NewSource(99))
+			b.StartTimer()
+		}
+		seeds = seeds[:0]
+		for j := 0; j < batch; j++ {
+			idx := rng.Intn(ch.Len())
+			h := ch.At(idx)
+			ch.SetPos(h, ch.Pos(idx+1))
+			seeds = append(seeds, h)
+		}
+		events = ch.AppendResolveMergesAround(events[:0], seeds)
+	}
+}
+
 // PlanMergesReuse4096 measures the reusable merge-pattern scan on a large
 // tangled chain — the path Algorithm.Step takes every round (steady
 // state: zero allocations).

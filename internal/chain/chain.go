@@ -6,6 +6,15 @@
 // validity, merge splicing (the paper's progress operation), straight-run
 // decomposition and serialisation — while the algorithm itself lives in
 // internal/core and the synchronous driver in internal/sim.
+//
+// Representation (DESIGN.md §6): robots are dense integer Handles into flat
+// struct-of-arrays storage (position, ring links, liveness). The ring is an
+// index-linked cyclic list, so a merge splice is O(1) — no slice shifting,
+// no reindexing of later robots. Cyclic index access (At/Pos/Edge) goes
+// through a ring-order cache that is invalidated by splices and rebuilt
+// lazily in one O(n) walk, at most once per round in the simulator. The
+// bounding box is maintained incrementally on every move and splice, so
+// Gathered() is O(1) in the steady state.
 package chain
 
 import (
@@ -16,20 +25,52 @@ import (
 	"gridgather/internal/grid"
 )
 
-// Robot is one chain member. Robots are anonymous to the algorithm; the ID
-// is simulator-internal bookkeeping (stable across rounds and merges) used
-// for run ownership and instrumentation only.
-type Robot struct {
-	ID  int
-	Pos grid.Vec
-}
+// Handle identifies one robot of a chain for the robot's whole lifetime.
+// Handles are dense — a chain constructed from n positions uses handles
+// 0..n-1 — and are never reused: a robot removed by a merge leaves its
+// handle permanently dead. Per-robot lookaside state (run registries, hop
+// plans, invariant scratch) is therefore a flat slice indexed by Handle;
+// see Scratch.
+//
+// The robot's simulator-internal ID (stable bookkeeping for run ownership
+// and instrumentation, invisible to the algorithm) equals the handle value;
+// ID returns it as an int.
+type Handle int32
+
+// None is the null handle ("no robot"). The zero value of Handle is a valid
+// robot, so fields holding an optional robot must be initialised to None.
+const None Handle = -1
 
 // Chain is a closed chain of robots. Index arithmetic is cyclic: index i and
 // i+Len() refer to the same robot.
 type Chain struct {
-	robots []*Robot
-	index  map[*Robot]int
-	nextID int
+	// Struct-of-arrays robot storage, indexed by Handle. Arrays never
+	// shrink; dead handles keep their last position (handy for merge
+	// forensics) but are unlinked from the ring.
+	pos  []grid.Vec
+	next []Handle
+	prev []Handle
+	live []bool
+
+	n    int    // live robot count
+	head Handle // the live robot at cyclic index 0
+
+	// Ring-order cache: order[i] is the handle at cyclic index i and
+	// idx[h] the index of live handle h. Splices mark it dirty; any
+	// index-based accessor rebuilds it in one O(n) ring walk.
+	order      []Handle
+	idx        []int32
+	orderDirty bool
+
+	// Incremental bounding box: counts of live robots on each face of the
+	// box. A move or removal that empties a face marks the box dirty; the
+	// next Bounds() call recomputes it in O(n). Everything else is O(1).
+	bounds      grid.Box
+	onMinX      int
+	onMaxX      int
+	onMinY      int
+	onMaxY      int
+	boundsDirty bool
 }
 
 // Common construction and validation errors.
@@ -87,25 +128,53 @@ func ValidateInitial(positions []grid.Vec) error {
 }
 
 func fromPositions(positions []grid.Vec) *Chain {
+	n := len(positions)
 	c := &Chain{
-		robots: make([]*Robot, len(positions)),
-		index:  make(map[*Robot]int, len(positions)),
+		pos:   make([]grid.Vec, n),
+		next:  make([]Handle, n),
+		prev:  make([]Handle, n),
+		live:  make([]bool, n),
+		order: make([]Handle, n),
+		idx:   make([]int32, n),
+		n:     n,
+		head:  0,
 	}
-	for i, p := range positions {
-		r := &Robot{ID: c.nextID, Pos: p}
-		c.nextID++
-		c.robots[i] = r
-		c.index[r] = i
+	copy(c.pos, positions)
+	for i := 0; i < n; i++ {
+		c.next[i] = Handle((i + 1) % n)
+		c.prev[i] = Handle((i - 1 + n) % n)
+		c.live[i] = true
+		c.order[i] = Handle(i)
+		c.idx[i] = int32(i)
 	}
+	c.recomputeBounds()
 	return c
 }
 
 // Len returns the current number of robots.
-func (c *Chain) Len() int { return len(c.robots) }
+func (c *Chain) Len() int { return c.n }
 
-// norm maps any integer index into [0, Len).
-func (c *Chain) norm(i int) int {
-	n := len(c.robots)
+// NumHandles returns the handle-space size: all handles ever issued lie in
+// [0, NumHandles). Per-handle lookaside tables (Scratch) size themselves
+// with it; the value is fixed for the chain's lifetime.
+func (c *Chain) NumHandles() int { return len(c.pos) }
+
+// WrapIndex maps any integer index into [0, n): the cyclic-index
+// arithmetic shared by the chain's accessors and the view's window
+// offsets. The fast paths cover every offset within one wrap; multi-wrap
+// offsets (e.g. a viewing range beyond a tiny chain's length) fall back
+// to the modulo.
+func WrapIndex(i, n int) int {
+	if i >= 0 {
+		if i < n {
+			return i
+		}
+		if i < 2*n {
+			return i - n // the common wrap of cyclic window arithmetic
+		}
+	} else if i >= -n {
+		return i + n
+	}
 	i %= n
 	if i < 0 {
 		i += n
@@ -113,23 +182,63 @@ func (c *Chain) norm(i int) int {
 	return i
 }
 
-// At returns the robot at cyclic index i.
-func (c *Chain) At(i int) *Robot { return c.robots[c.norm(i)] }
+// norm maps any integer index into [0, Len).
+func (c *Chain) norm(i int) int { return WrapIndex(i, c.n) }
 
-// Pos returns the position of the robot at cyclic index i.
-func (c *Chain) Pos(i int) grid.Vec { return c.robots[c.norm(i)].Pos }
-
-// IndexOf returns the current index of r, or -1 if r is no longer part of
-// the chain (it was removed by a merge).
-func (c *Chain) IndexOf(r *Robot) int {
-	if i, ok := c.index[r]; ok {
-		return i
+// reindex rebuilds the ring-order cache by walking the linked ring once.
+func (c *Chain) reindex() {
+	h := c.head
+	for i := 0; i < c.n; i++ {
+		c.order[i] = h
+		c.idx[h] = int32(i)
+		h = c.next[h]
 	}
-	return -1
+	c.order = c.order[:c.n]
+	c.orderDirty = false
 }
 
-// Contains reports whether r is still part of the chain.
-func (c *Chain) Contains(r *Robot) bool { _, ok := c.index[r]; return ok }
+// At returns the handle of the robot at cyclic index i.
+func (c *Chain) At(i int) Handle {
+	if c.orderDirty {
+		c.reindex()
+	}
+	return c.order[c.norm(i)]
+}
+
+// Pos returns the position of the robot at cyclic index i.
+func (c *Chain) Pos(i int) grid.Vec { return c.pos[c.At(i)] }
+
+// PosOf returns the position of the robot with handle h. For a dead handle
+// it returns the robot's final (merge) position.
+func (c *Chain) PosOf(h Handle) grid.Vec { return c.pos[h] }
+
+// ID returns the robot's simulator-internal ID: stable across rounds and
+// merges, used for run ownership and instrumentation only. It equals the
+// handle value (robots are only created at construction, in chain order).
+func (c *Chain) ID(h Handle) int { return int(h) }
+
+// Next returns the ring successor of live handle h.
+func (c *Chain) Next(h Handle) Handle { return c.next[h] }
+
+// Prev returns the ring predecessor of live handle h.
+func (c *Chain) Prev(h Handle) Handle { return c.prev[h] }
+
+// IndexOf returns the current cyclic index of h, or -1 if h is no longer
+// part of the chain (it was removed by a merge).
+func (c *Chain) IndexOf(h Handle) int {
+	if !c.Contains(h) {
+		return -1
+	}
+	if c.orderDirty {
+		c.reindex()
+	}
+	return int(c.idx[h])
+}
+
+// Contains reports whether h is still part of the chain.
+func (c *Chain) Contains(h Handle) bool {
+	return h >= 0 && int(h) < len(c.live) && c.live[h]
+}
 
 // Edge returns the displacement from robot i to robot i+1.
 func (c *Chain) Edge(i int) grid.Vec {
@@ -138,24 +247,136 @@ func (c *Chain) Edge(i int) grid.Vec {
 
 // Positions returns a copy of all robot positions in chain order.
 func (c *Chain) Positions() []grid.Vec {
-	ps := make([]grid.Vec, len(c.robots))
-	for i, r := range c.robots {
-		ps[i] = r.Pos
+	if c.orderDirty {
+		c.reindex()
+	}
+	ps := make([]grid.Vec, c.n)
+	for i, h := range c.order {
+		ps[i] = c.pos[h]
 	}
 	return ps
 }
 
-// Robots returns the robots in chain order. The slice is shared; callers
-// must not mutate it.
-func (c *Chain) Robots() []*Robot { return c.robots }
-
-// Bounds returns the bounding box of the configuration.
-func (c *Chain) Bounds() grid.Box {
-	var b grid.Box
-	for _, r := range c.robots {
-		b.Include(r.Pos)
+// Handles returns the live handles in chain order. The slice is shared and
+// valid until the next splice; callers must not mutate it.
+func (c *Chain) Handles() []Handle {
+	if c.orderDirty {
+		c.reindex()
 	}
-	return b
+	return c.order
+}
+
+// PosStore exposes the flat per-handle position array (indexed by Handle,
+// dead handles included) for read-only hot paths — the view package reads
+// it directly so window accesses compile to plain array arithmetic. Callers
+// must not mutate it; use SetPos/MoveBy, which keep the bounding box
+// bookkeeping consistent.
+func (c *Chain) PosStore() []grid.Vec { return c.pos }
+
+// SetPos teleports the robot with handle h to p, updating the bounding box.
+// It is the substrate-level mutator used by movement rules and tests; it
+// performs no model checks (edge validity is the caller's responsibility,
+// see CheckEdges / CheckEdgesAround).
+func (c *Chain) SetPos(h Handle, p grid.Vec) {
+	old := c.pos[h]
+	if old == p {
+		return
+	}
+	c.pos[h] = p
+	c.boundsRemove(old)
+	c.boundsAdd(p)
+}
+
+// MoveBy displaces the robot with handle h by d.
+func (c *Chain) MoveBy(h Handle, d grid.Vec) { c.SetPos(h, c.pos[h].Add(d)) }
+
+// boundsRemove retires one robot's contribution to the bounding box. If a
+// box face loses its last robot the box must shrink; the exact extent is
+// unknown without a scan, so the box is marked dirty and recomputed lazily.
+func (c *Chain) boundsRemove(p grid.Vec) {
+	if c.boundsDirty {
+		return
+	}
+	if p.X == c.bounds.Min.X {
+		if c.onMinX--; c.onMinX == 0 {
+			c.boundsDirty = true
+		}
+	}
+	if p.X == c.bounds.Max.X {
+		if c.onMaxX--; c.onMaxX == 0 {
+			c.boundsDirty = true
+		}
+	}
+	if p.Y == c.bounds.Min.Y {
+		if c.onMinY--; c.onMinY == 0 {
+			c.boundsDirty = true
+		}
+	}
+	if p.Y == c.bounds.Max.Y {
+		if c.onMaxY--; c.onMaxY == 0 {
+			c.boundsDirty = true
+		}
+	}
+}
+
+// boundsAdd accounts a robot arriving at p, growing the box if needed.
+func (c *Chain) boundsAdd(p grid.Vec) {
+	if c.boundsDirty {
+		return
+	}
+	switch {
+	case p.X < c.bounds.Min.X:
+		c.bounds.Min.X, c.onMinX = p.X, 1
+	case p.X == c.bounds.Min.X:
+		c.onMinX++
+	}
+	switch {
+	case p.X > c.bounds.Max.X:
+		c.bounds.Max.X, c.onMaxX = p.X, 1
+	case p.X == c.bounds.Max.X:
+		c.onMaxX++
+	}
+	switch {
+	case p.Y < c.bounds.Min.Y:
+		c.bounds.Min.Y, c.onMinY = p.Y, 1
+	case p.Y == c.bounds.Min.Y:
+		c.onMinY++
+	}
+	switch {
+	case p.Y > c.bounds.Max.Y:
+		c.bounds.Max.Y, c.onMaxY = p.Y, 1
+	case p.Y == c.bounds.Max.Y:
+		c.onMaxY++
+	}
+}
+
+// recomputeBounds rebuilds the box and its face counts in one walk of the
+// live ring — O(Len()), not O(NumHandles()), so late-gather recomputes on
+// a shrunken chain stay cheap. A new extreme resets its face count to 1,
+// exactly like boundsAdd, so no second pass is needed.
+func (c *Chain) recomputeBounds() {
+	c.boundsDirty = false
+	c.bounds = grid.Box{}
+	c.onMinX, c.onMaxX, c.onMinY, c.onMaxY = 0, 0, 0, 0
+	if c.n == 0 {
+		return
+	}
+	h := c.head
+	c.bounds = grid.BoxOf(c.pos[h])
+	c.onMinX, c.onMaxX, c.onMinY, c.onMaxY = 1, 1, 1, 1
+	for i, cur := 1, c.next[h]; i < c.n; i, cur = i+1, c.next[cur] {
+		c.boundsAdd(c.pos[cur])
+	}
+}
+
+// Bounds returns the bounding box of the configuration. O(1) unless a
+// preceding move or splice emptied a box face, in which case one O(n)
+// recompute runs.
+func (c *Chain) Bounds() grid.Box {
+	if c.boundsDirty {
+		c.recomputeBounds()
+	}
+	return c.bounds
 }
 
 // Gathered reports the paper's termination condition: all robots lie within
@@ -165,7 +386,7 @@ func (c *Chain) Gathered() bool { return c.Bounds().FitsSquare(2) }
 // CheckEdges verifies that every edge is a legal chain edge (axis unit or
 // zero). It is the safety invariant the algorithm must never violate.
 func (c *Chain) CheckEdges() error {
-	for i := range c.robots {
+	for i := 0; i < c.n; i++ {
 		if !c.Edge(i).IsChainEdge() {
 			return fmt.Errorf("%w: edge %d..%d is %v (%v -> %v)",
 				ErrBadEdge, i, c.norm(i+1), c.Edge(i), c.Pos(i), c.Pos(i+1))
@@ -174,13 +395,34 @@ func (c *Chain) CheckEdges() error {
 	return nil
 }
 
+// CheckEdgesAround verifies only the edges incident to the given handles.
+// When the handles are exactly the robots that moved this round, the check
+// is equivalent to CheckEdges — an edge between two unmoved robots cannot
+// have changed — at O(#moved) instead of O(n) cost.
+func (c *Chain) CheckEdgesAround(moved []Handle) error {
+	for _, h := range moved {
+		if !c.Contains(h) {
+			continue
+		}
+		if d := c.pos[h].Sub(c.pos[c.prev[h]]); !d.IsChainEdge() {
+			return fmt.Errorf("%w: edge %d..%d is %v (%v -> %v)",
+				ErrBadEdge, c.IndexOf(c.prev[h]), c.IndexOf(h), d, c.pos[c.prev[h]], c.pos[h])
+		}
+		if d := c.pos[c.next[h]].Sub(c.pos[h]); !d.IsChainEdge() {
+			return fmt.Errorf("%w: edge %d..%d is %v (%v -> %v)",
+				ErrBadEdge, c.IndexOf(h), c.IndexOf(c.next[h]), d, c.pos[h], c.pos[c.next[h]])
+		}
+	}
+	return nil
+}
+
 // CheckNoZeroEdges verifies that no two chain neighbours are co-located;
 // this must hold after every round's merge resolution.
 func (c *Chain) CheckNoZeroEdges() error {
-	if len(c.robots) <= 2 {
+	if c.n <= 2 {
 		return nil // a fully gathered pair may legitimately coincide
 	}
-	for i := range c.robots {
+	for i := 0; i < c.n; i++ {
 		if c.Edge(i).IsZero() {
 			return fmt.Errorf("%w: neighbours %d,%d at %v", ErrZeroEdge, i, c.norm(i+1), c.Pos(i))
 		}
@@ -192,15 +434,42 @@ func (c *Chain) CheckNoZeroEdges() error {
 type MergeEvent struct {
 	// Survivor stays on the chain, Removed was spliced out. Both occupied
 	// Pos when the merge happened.
-	Survivor, Removed *Robot
+	Survivor, Removed Handle
 	Pos               grid.Vec
+}
+
+// unlink splices live handle h out of the ring in O(1).
+func (c *Chain) unlink(h Handle) {
+	p, nx := c.prev[h], c.next[h]
+	c.next[p] = nx
+	c.prev[nx] = p
+	c.live[h] = false
+	c.n--
+	if c.head == h {
+		// The old slice representation shifted every later robot down one
+		// index; removing index 0 made the old index 1 the new index 0.
+		// Advancing the head reproduces exactly that numbering.
+		c.head = nx
+	}
+	c.orderDirty = true
+	c.boundsRemove(c.pos[h])
+}
+
+// mergePair merges the co-located ring neighbours a -> b: the robot with the
+// larger internal ID is spliced out, an arbitrary but deterministic
+// tie-break invisible to the algorithm.
+func (c *Chain) mergePair(a, b Handle) MergeEvent {
+	surv, rem := a, b
+	if surv > rem {
+		surv, rem = rem, surv
+	}
+	c.unlink(rem)
+	return MergeEvent{Survivor: surv, Removed: rem, Pos: c.pos[surv]}
 }
 
 // ResolveMerges repeatedly merges co-located chain neighbours until none
 // remain, per the paper's model ("their neighbourhoods are merged and one of
-// both is removed"). The robot with the larger internal ID is removed, an
-// arbitrary but deterministic tie-break invisible to the algorithm.
-// It returns the performed merges in execution order.
+// both is removed"). It returns the performed merges in execution order.
 //
 // Merging stops early when only two robots remain: a 2-cycle is a gathered
 // configuration and needs no further shortening.
@@ -210,53 +479,90 @@ func (c *Chain) ResolveMerges() []MergeEvent {
 
 // AppendResolveMerges is ResolveMerges appending into dst, so per-round
 // callers can reuse one event buffer instead of allocating every round.
+//
+// The resolution is a single O(n + #merges) cyclic pass: after a splice the
+// scan continues from the survivor instead of restarting. That is exhaustive
+// because positions never change during resolution — a splice joins the
+// survivor to a neighbour whose pairing (by position) was either already
+// verified clean or is still ahead of the cursor, so no earlier pair can
+// become co-located behind the scan.
 func (c *Chain) AppendResolveMerges(dst []MergeEvent) []MergeEvent {
 	events := dst
-	for len(c.robots) > 2 {
-		merged := false
-		for i := 0; i < len(c.robots); i++ {
-			j := c.norm(i + 1)
-			a, b := c.robots[i], c.robots[j]
-			if a.Pos != b.Pos {
-				continue
-			}
-			surv, rem := a, b
-			if surv.ID > rem.ID {
-				surv, rem = rem, surv
-			}
-			c.removeAt(c.index[rem])
-			events = append(events, MergeEvent{Survivor: surv, Removed: rem, Pos: surv.Pos})
-			merged = true
+	if c.n <= 2 {
+		return events
+	}
+	cur := c.head
+	for remaining := c.n; remaining > 0 && c.n > 2; remaining-- {
+		nx := c.next[cur]
+		if c.pos[cur] != c.pos[nx] {
+			cur = nx
+			continue
+		}
+		ev := c.mergePair(cur, nx)
+		events = append(events, ev)
+		cur = ev.Survivor
+	}
+	return events
+}
+
+// AppendResolveMergesAround resolves merges examining only the
+// neighbourhoods of the given seed robots — the robots that moved this
+// round. Co-location requires that at least one member of the pair moved,
+// so seeding with the movers finds every mergeable pair in O(#seeds +
+// #merges) independent of chain length. Cascades (a splice joining further
+// co-located robots) stay within one position cluster and are followed
+// through; the per-cluster event order matches the full scan's.
+func (c *Chain) AppendResolveMergesAround(dst []MergeEvent, seeds []Handle) []MergeEvent {
+	events := dst
+	for _, h := range seeds {
+		if c.n <= 2 {
 			break
 		}
-		if !merged {
-			break
+		if !c.Contains(h) {
+			continue // merged away while processing an earlier seed
+		}
+		// Walk back to the start of the co-located cluster containing h
+		// (bounded in case the whole ring has collapsed onto one point),
+		// then reduce it front to back exactly like the full scan.
+		start := h
+		for steps := 0; c.pos[c.prev[start]] == c.pos[start] && steps < c.n; steps++ {
+			start = c.prev[start]
+		}
+		cur := start
+		for c.n > 2 {
+			nx := c.next[cur]
+			if c.pos[cur] != c.pos[nx] {
+				break
+			}
+			ev := c.mergePair(cur, nx)
+			events = append(events, ev)
+			cur = ev.Survivor
 		}
 	}
 	return events
 }
 
-func (c *Chain) removeAt(i int) {
-	r := c.robots[i]
-	c.robots = append(c.robots[:i], c.robots[i+1:]...)
-	delete(c.index, r)
-	for k := i; k < len(c.robots); k++ {
-		c.index[c.robots[k]] = k
-	}
-}
-
-// Clone returns a deep copy of the chain. Robot IDs are preserved so traces
-// of a cloned run stay comparable.
+// Clone returns a deep copy of the chain. Robot IDs (and handles) are
+// preserved so traces of a cloned run stay comparable.
 func (c *Chain) Clone() *Chain {
-	cp := &Chain{
-		robots: make([]*Robot, len(c.robots)),
-		index:  make(map[*Robot]int, len(c.robots)),
-		nextID: c.nextID,
+	if c.orderDirty {
+		c.reindex()
 	}
-	for i, r := range c.robots {
-		nr := &Robot{ID: r.ID, Pos: r.Pos}
-		cp.robots[i] = nr
-		cp.index[nr] = i
+	cp := &Chain{
+		pos:         append([]grid.Vec(nil), c.pos...),
+		next:        append([]Handle(nil), c.next...),
+		prev:        append([]Handle(nil), c.prev...),
+		live:        append([]bool(nil), c.live...),
+		order:       append([]Handle(nil), c.order...),
+		idx:         append([]int32(nil), c.idx...),
+		n:           c.n,
+		head:        c.head,
+		bounds:      c.bounds,
+		onMinX:      c.onMinX,
+		onMaxX:      c.onMaxX,
+		onMinY:      c.onMinY,
+		onMaxY:      c.onMaxY,
+		boundsDirty: c.boundsDirty,
 	}
 	return cp
 }
@@ -265,7 +571,7 @@ func (c *Chain) Clone() *Chain {
 // post-merge chain this equals Len().
 func (c *Chain) PerimeterLength() int {
 	total := 0
-	for i := range c.robots {
+	for i := 0; i < c.n; i++ {
 		total += c.Edge(i).L1()
 	}
 	return total
@@ -288,9 +594,10 @@ type chainJSON struct {
 
 // MarshalJSON encodes the chain as its position sequence.
 func (c *Chain) MarshalJSON() ([]byte, error) {
-	out := chainJSON{Positions: make([][2]int, len(c.robots))}
-	for i, r := range c.robots {
-		out.Positions[i] = [2]int{r.Pos.X, r.Pos.Y}
+	out := chainJSON{Positions: make([][2]int, 0, c.n)}
+	for _, h := range c.Handles() {
+		p := c.pos[h]
+		out.Positions = append(out.Positions, [2]int{p.X, p.Y})
 	}
 	return json.Marshal(out)
 }
@@ -338,7 +645,7 @@ func (c *Chain) Turn(i int) int {
 // and tests as a sanity metric.
 func (c *Chain) TotalTurning() int {
 	t := 0
-	for i := range c.robots {
+	for i := 0; i < c.n; i++ {
 		t += c.Turn(i)
 	}
 	return t
@@ -365,7 +672,7 @@ func (c *Chain) EdgeRuns() []EdgeRun {
 // detection runs every round) pass a reused buffer sliced to length zero,
 // making the decomposition allocation-free in steady state.
 func (c *Chain) AppendEdgeRuns(dst []EdgeRun) []EdgeRun {
-	n := len(c.robots)
+	n := c.n
 	if n == 0 {
 		return dst
 	}
@@ -399,5 +706,5 @@ func (c *Chain) AppendEdgeRuns(dst []EdgeRun) []EdgeRun {
 
 // String summarises the chain for debugging.
 func (c *Chain) String() string {
-	return fmt.Sprintf("chain{n=%d bounds=%v}", len(c.robots), c.Bounds())
+	return fmt.Sprintf("chain{n=%d bounds=%v}", c.n, c.Bounds())
 }

@@ -103,9 +103,10 @@ func TestIndexOfAndContains(t *testing.T) {
 			t.Errorf("IndexOf/Contains wrong at %d", i)
 		}
 	}
-	stranger := &Robot{ID: 999}
-	if c.IndexOf(stranger) != -1 || c.Contains(stranger) {
-		t.Error("foreign robot reported as member")
+	for _, stranger := range []Handle{None, Handle(999)} {
+		if c.IndexOf(stranger) != -1 || c.Contains(stranger) {
+			t.Errorf("foreign handle %d reported as member", stranger)
+		}
 	}
 }
 
@@ -137,7 +138,7 @@ func TestResolveMergesPairs(t *testing.T) {
 		grid.V(1, 1), grid.V(0, 1), grid.V(0, 1),
 	}
 	for i, p := range after {
-		c.At(i).Pos = p
+		c.SetPos(c.At(i), p)
 	}
 	if err := c.CheckEdges(); err != nil {
 		t.Fatalf("setup invalid: %v", err)
@@ -153,7 +154,7 @@ func TestResolveMergesPairs(t *testing.T) {
 		t.Fatalf("edges invalid after merge: %v", err)
 	}
 	for _, ev := range events {
-		if ev.Survivor.ID > ev.Removed.ID {
+		if c.ID(ev.Survivor) > c.ID(ev.Removed) {
 			t.Error("survivor must be the lower ID")
 		}
 		if c.Contains(ev.Removed) || !c.Contains(ev.Survivor) {
@@ -172,7 +173,7 @@ func TestResolveMergesCascade(t *testing.T) {
 		grid.V(1, 1), grid.V(1, 1), grid.V(1, 1), grid.V(0, 1),
 	}
 	for i, p := range after {
-		c.At(i).Pos = p
+		c.SetPos(c.At(i), p)
 	}
 	if err := c.CheckEdges(); err != nil {
 		t.Fatalf("setup invalid: %v", err)
@@ -197,7 +198,7 @@ func TestResolveMergesStopsAtTwo(t *testing.T) {
 	c := MustNew([]grid.Vec{grid.V(0, 0), grid.V(1, 0), grid.V(0, 0), grid.V(1, 0)})
 	// Co-locate everything on one point: a fully collapsed configuration.
 	for i := 0; i < 4; i++ {
-		c.At(i).Pos = grid.V(0, 0)
+		c.SetPos(c.At(i), grid.V(0, 0))
 	}
 	c.ResolveMerges()
 	if c.Len() != 2 {
@@ -215,14 +216,14 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("clone length differs")
 	}
 	for i := 0; i < c.Len(); i++ {
-		if cp.Pos(i) != c.Pos(i) || cp.At(i) == c.At(i) {
-			t.Fatal("clone must copy positions into fresh robots")
+		if cp.Pos(i) != c.Pos(i) {
+			t.Fatal("clone must copy positions")
 		}
-		if cp.At(i).ID != c.At(i).ID {
+		if cp.ID(cp.At(i)) != c.ID(c.At(i)) {
 			t.Fatal("clone must preserve IDs")
 		}
 	}
-	cp.At(0).Pos = grid.V(99, 99)
+	cp.SetPos(cp.At(0), grid.V(99, 99))
 	if c.Pos(0) == grid.V(99, 99) {
 		t.Error("clone shares robot storage")
 	}

@@ -1,0 +1,93 @@
+package chain
+
+// Scratch is a per-handle lookaside table with O(1) epoch clearing: the
+// replacement for the pointer-keyed maps of the per-round hot path. Values
+// live in a flat slice indexed by Handle; whether an entry is set in the
+// current epoch is a generation comparison, so Reset is a counter bump —
+// no map hashing, no rehash growth, no clear() sweep.
+//
+// The zero value is ready to use; the first Reset sizes the storage. Like
+// the engine's other scratch state (DESIGN.md §5), a Scratch is valid for
+// one round: Reset at the start of the phase that fills it, read until the
+// next Reset.
+type Scratch[T any] struct {
+	vals  []T
+	gen   []uint32
+	cur   uint32
+	keys  []Handle
+	count int
+}
+
+// tombstone marks a generation word as "deleted this epoch": the current
+// epoch with the top bit set. Epoch counters stay below the bit (Reset
+// wraps them early), so a tombstone can never collide with a live epoch.
+const tombstone = uint32(1) << 31
+
+// Reset clears the table in O(1) and ensures capacity for n handles
+// (chain.NumHandles()). Growth only happens on the first call or if n
+// increases — never in steady state.
+func (s *Scratch[T]) Reset(n int) {
+	if len(s.vals) < n {
+		s.vals = make([]T, n)
+		s.gen = make([]uint32, n)
+		s.cur = 0
+	}
+	if s.cur == tombstone-1 {
+		// Epoch-counter wrap (once per 2G resets): fall back to a full
+		// clear so stale generations (and their tombstones) cannot alias.
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.cur = 0
+	}
+	s.cur++
+	s.keys = s.keys[:0]
+	s.count = 0
+}
+
+// Set stores v for handle h.
+func (s *Scratch[T]) Set(h Handle, v T) {
+	if g := s.gen[h]; g != s.cur {
+		if g != s.cur|tombstone {
+			// Not seen this epoch at all; a tombstoned handle is already
+			// listed in keys and must not be appended twice.
+			s.keys = append(s.keys, h)
+		}
+		s.gen[h] = s.cur
+		s.count++
+	}
+	s.vals[h] = v
+}
+
+// Get returns the value stored for h this epoch.
+func (s *Scratch[T]) Get(h Handle) (T, bool) {
+	if h < 0 || int(h) >= len(s.gen) || s.gen[h] != s.cur {
+		var zero T
+		return zero, false
+	}
+	return s.vals[h], true
+}
+
+// Has reports whether h has a value this epoch.
+func (s *Scratch[T]) Has(h Handle) bool {
+	return h >= 0 && int(h) < len(s.gen) && s.gen[h] == s.cur
+}
+
+// Delete removes h's value for this epoch. The handle stays in Keys
+// (iterating callers filter with Has); a later Set revives it in place
+// without duplicating the key.
+func (s *Scratch[T]) Delete(h Handle) {
+	if s.Has(h) {
+		s.gen[h] = s.cur | tombstone
+		s.count--
+	}
+}
+
+// Len returns the number of handles currently set.
+func (s *Scratch[T]) Len() int { return s.count }
+
+// Keys returns the handles set this epoch, in insertion order — giving
+// deterministic iteration where the map representation had randomised
+// order. Deleted handles remain listed; filter with Has. The slice is
+// shared scratch, valid until the next Reset.
+func (s *Scratch[T]) Keys() []Handle { return s.keys }

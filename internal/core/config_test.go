@@ -61,7 +61,7 @@ func TestNewRejectsBadInput(t *testing.T) {
 	}
 	// A chain broken post-construction must be rejected.
 	bad := mustChain(t, grid.V(0, 0), grid.V(1, 0), grid.V(1, 1), grid.V(0, 1))
-	bad.At(0).Pos = grid.V(50, 50)
+	bad.SetPos(bad.At(0), grid.V(50, 50))
 	if _, err := New(bad, DefaultConfig()); err == nil {
 		t.Error("broken chain accepted")
 	}
@@ -170,7 +170,7 @@ func TestSpikePriorityPlan(t *testing.T) {
 	}
 	// The spike whites stay: no hop assigned to them.
 	for _, idx := range []int{1, 9, 4, 6} {
-		if h, ok := plan.Hops[c.At(idx)]; ok {
+		if h, ok := plan.Hop(c.At(idx)); ok {
 			t.Errorf("spike white %d must not hop, got %v", idx, h)
 		}
 	}

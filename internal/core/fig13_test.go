@@ -13,8 +13,8 @@ import (
 func opBChain(t *testing.T) ([]grid.Vec, int) {
 	t.Helper()
 	pts := []grid.Vec{
-		grid.V(0, 0), // trailing robot
-		grid.V(0, 1), // the runner corner e
+		grid.V(0, 0),               // trailing robot
+		grid.V(0, 1),               // the runner corner e
 		grid.V(1, 1), grid.V(2, 1), // segment of exactly 3 with e
 		grid.V(2, 2), // jog target corner c
 	}
@@ -45,8 +45,8 @@ func TestFig11bOperationB(t *testing.T) {
 	}
 	run := alg.InjectRun(runnerIdx, +1)
 	target := c.At(runnerIdx + 3) // the corner after the jog, (2,2)
-	if target.Pos != grid.V(2, 2) {
-		t.Fatalf("target corner lookup wrong: %v", target.Pos)
+	if c.PosOf(target) != grid.V(2, 2) {
+		t.Fatalf("target corner lookup wrong: %v", c.PosOf(target))
 	}
 
 	// Round 1: the runner recognises the short segment and starts the
@@ -59,7 +59,7 @@ func TestFig11bOperationB(t *testing.T) {
 		t.Fatalf("run mode = %v, want traverse", run.Mode)
 	}
 	if run.OpTarget != target {
-		t.Fatalf("operation target = %v, want the corner after the jog", run.OpTarget.Pos)
+		t.Fatalf("operation target = %v, want the corner after the jog", c.PosOf(run.OpTarget))
 	}
 
 	// Two more hop-free moves land it on the corner, back in normal mode.
@@ -70,7 +70,7 @@ func TestFig11bOperationB(t *testing.T) {
 		}
 	}
 	if run.Host != target {
-		t.Fatalf("run landed on %v, want %v", run.Host.Pos, target.Pos)
+		t.Fatalf("run landed on %v, want %v", c.PosOf(run.Host), c.PosOf(target))
 	}
 	if run.Mode != ModeNormal {
 		t.Fatalf("run mode after traverse = %v, want normal", run.Mode)

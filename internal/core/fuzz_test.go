@@ -92,7 +92,7 @@ func TestFuzzMergePlanSafety(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		spikeBlacks := map[*chain.Robot]bool{}
+		spikeBlacks := map[chain.Handle]bool{}
 		for _, pat := range plan.Executing {
 			if pat.Len == 1 {
 				spikeBlacks[c.At(pat.FirstBlack)] = true
@@ -104,13 +104,15 @@ func TestFuzzMergePlanSafety(t *testing.T) {
 			}
 			for _, w := range []int{pat.WhiteBefore(), pat.WhiteAfter()} {
 				r := c.At(w)
-				if h, ok := plan.Hops[r]; ok && !h.IsZero() && !spikeBlacks[r] {
+				if h, ok := plan.Hop(r); ok && !h.IsZero() && !spikeBlacks[r] {
 					t.Fatalf("trial %d: spike white hops %v via a straight pattern", trial, h)
 				}
 			}
 		}
-		for r, h := range plan.Hops {
-			r.Pos = r.Pos.Add(h)
+		for _, r := range plan.HopHandles() {
+			if h, ok := plan.Hop(r); ok {
+				c.MoveBy(r, h)
+			}
 		}
 		if err := c.CheckEdges(); err != nil {
 			t.Fatalf("trial %d: merge plan broke the chain: %v", trial, err)

@@ -105,28 +105,43 @@ func appendMergePatterns(dst []MergePattern, ch *chain.Chain, maxLen int, edgeRu
 type MergePlan struct {
 	// Patterns are all detected patterns; Executing the subset performing
 	// hops this round (Suppressed counts the difference).
-	Patterns     []MergePattern
-	Executing    []MergePattern
-	Suppressed   int
-	Hops         map[*chain.Robot]grid.Vec
-	Participants map[*chain.Robot]bool
+	Patterns   []MergePattern
+	Executing  []MergePattern
+	Suppressed int
+
+	// hops and participants are flat per-handle tables with generation
+	// clearing (chain.Scratch), replacing the pointer-keyed maps of the
+	// earlier representation; read them through Hop / Participant.
+	hops         chain.Scratch[grid.Vec]
+	participants chain.Scratch[struct{}]
 
 	// Reused scratch (valid only during Plan): spike whites of the current
 	// round and the chain's edge-run decomposition. Keeping them here lets
 	// a per-round caller replan every round without allocating.
-	spikeWhites map[*chain.Robot]bool
+	spikeWhites chain.Scratch[struct{}]
 	edgeRuns    []chain.EdgeRun
 }
 
 // NewMergePlan returns an empty plan whose Plan method can be called once
 // per round, reusing all internal storage.
 func NewMergePlan() *MergePlan {
-	return &MergePlan{
-		Hops:         make(map[*chain.Robot]grid.Vec),
-		Participants: make(map[*chain.Robot]bool),
-		spikeWhites:  make(map[*chain.Robot]bool),
-	}
+	return &MergePlan{}
 }
+
+// Hop returns the combined merge hop of the robot with handle h, if it is
+// a black of an executing pattern this round.
+func (p *MergePlan) Hop(h chain.Handle) (grid.Vec, bool) { return p.hops.Get(h) }
+
+// HopCount returns the number of robots hopping for merges this round.
+func (p *MergePlan) HopCount() int { return p.hops.Len() }
+
+// HopHandles returns the hopping robots in pattern order (deterministic).
+// The slice is shared scratch, valid until the next Plan call.
+func (p *MergePlan) HopHandles() []chain.Handle { return p.hops.Keys() }
+
+// Participant reports whether the robot with handle h takes part in any
+// detected pattern (black or white) this round.
+func (p *MergePlan) Participant(h chain.Handle) bool { return p.participants.Has(h) }
 
 // Empty reports whether no merge is possible anywhere on the chain (the
 // chain is a "Mergeless Chain" for the configured detection length).
@@ -156,26 +171,26 @@ func (plan *MergePlan) Plan(ch *chain.Chain, maxLen int) error {
 	plan.Patterns = appendMergePatterns(plan.Patterns[:0], ch, maxLen, plan.edgeRuns)
 	plan.Executing = plan.Executing[:0]
 	plan.Suppressed = 0
-	clear(plan.Hops)
-	clear(plan.Participants)
-	clear(plan.spikeWhites)
-	spikeWhites := plan.spikeWhites
+	nh := ch.NumHandles()
+	plan.hops.Reset(nh)
+	plan.participants.Reset(nh)
+	plan.spikeWhites.Reset(nh)
 	for _, pat := range plan.Patterns {
 		if pat.Len == 1 {
-			spikeWhites[ch.At(pat.WhiteBefore())] = true
-			spikeWhites[ch.At(pat.WhiteAfter())] = true
+			plan.spikeWhites.Set(ch.At(pat.WhiteBefore()), struct{}{})
+			plan.spikeWhites.Set(ch.At(pat.WhiteAfter()), struct{}{})
 		}
 	}
 	for _, pat := range plan.Patterns {
-		plan.Participants[ch.At(pat.WhiteBefore())] = true
-		plan.Participants[ch.At(pat.WhiteAfter())] = true
+		plan.participants.Set(ch.At(pat.WhiteBefore()), struct{}{})
+		plan.participants.Set(ch.At(pat.WhiteAfter()), struct{}{})
 		for j := 0; j < pat.Len; j++ {
-			plan.Participants[ch.At(pat.FirstBlack+j)] = true
+			plan.participants.Set(ch.At(pat.FirstBlack+j), struct{}{})
 		}
-		if pat.Len > 1 && len(spikeWhites) > 0 {
+		if pat.Len > 1 && plan.spikeWhites.Len() > 0 {
 			tainted := false
 			for j := 0; j < pat.Len; j++ {
-				if spikeWhites[ch.At(pat.FirstBlack+j)] {
+				if plan.spikeWhites.Has(ch.At(pat.FirstBlack + j)) {
 					tainted = true
 					break
 				}
@@ -187,12 +202,12 @@ func (plan *MergePlan) Plan(ch *chain.Chain, maxLen int) error {
 		}
 		plan.Executing = append(plan.Executing, pat)
 		for j := 0; j < pat.Len; j++ {
-			r := ch.At(pat.FirstBlack + j)
-			prev := plan.Hops[r]
+			h := ch.At(pat.FirstBlack + j)
+			prev, _ := plan.hops.Get(h)
 			if (pat.Hop.X != 0 && prev.X != 0) || (pat.Hop.Y != 0 && prev.Y != 0) {
-				return fmt.Errorf("core: conflicting merge hops %v and %v on robot %d", prev, pat.Hop, r.ID)
+				return fmt.Errorf("core: conflicting merge hops %v and %v on robot %d", prev, pat.Hop, ch.ID(h))
 			}
-			plan.Hops[r] = prev.Add(pat.Hop)
+			plan.hops.Set(h, prev.Add(pat.Hop))
 		}
 	}
 	return nil

@@ -37,15 +37,21 @@ func TestFig2SpikeK1(t *testing.T) {
 	}
 	// The spike at (2,0) hops west onto its whites; the spike at (0,0)
 	// hops east.
-	if h := plan.Hops[c.At(2)]; h != grid.West {
+	if h, _ := plan.Hop(c.At(2)); h != grid.West {
 		t.Errorf("spike black at (2,0) hop = %v, want west", h)
 	}
-	if h := plan.Hops[c.At(0)]; h != grid.East {
+	if h, _ := plan.Hop(c.At(0)); h != grid.East {
 		t.Errorf("spike black at (0,0) hop = %v, want east", h)
 	}
 	// All four robots participate (each is white for the other spike).
-	if len(plan.Participants) != 4 {
-		t.Errorf("participants = %d, want 4", len(plan.Participants))
+	participants := 0
+	for i := 0; i < c.Len(); i++ {
+		if plan.Participant(c.At(i)) {
+			participants++
+		}
+	}
+	if participants != 4 {
+		t.Errorf("participants = %d, want 4", participants)
 	}
 }
 
@@ -74,14 +80,14 @@ func TestFig2UMergeK3(t *testing.T) {
 	}
 	// Corner robots are black in two perpendicular patterns and hop
 	// diagonally (Fig 3.b rule).
-	if h := plan.Hops[c.At(0)]; h != grid.V(1, 1) {
+	if h, _ := plan.Hop(c.At(0)); h != grid.V(1, 1) {
 		t.Errorf("corner (0,0) hop = %v, want (1,1)", h)
 	}
-	if h := plan.Hops[c.At(2)]; h != grid.V(-1, 1) {
+	if h, _ := plan.Hop(c.At(2)); h != grid.V(-1, 1) {
 		t.Errorf("corner (2,0) hop = %v, want (-1,1)", h)
 	}
 	// Interior blacks hop straight.
-	if h := plan.Hops[c.At(1)]; h != grid.North {
+	if h, _ := plan.Hop(c.At(1)); h != grid.North {
 		t.Errorf("interior black hop = %v, want north", h)
 	}
 }
@@ -133,17 +139,20 @@ func TestFig3bOverlapByThree(t *testing.T) {
 	r := c.At(2) // (2,2): end of the horizontal blacks and of the vertical blacks
 	a := c.At(3) // (2,1): white of the horizontal pattern, black of the vertical
 	b := c.At(4) // (1,1): white of the vertical pattern
-	if h := plan.Hops[r]; h != grid.V(-1, -1) {
+	if h, _ := plan.Hop(r); h != grid.V(-1, -1) {
 		t.Fatalf("r must hop diagonally to the lower left, got %v", h)
 	}
-	if h := plan.Hops[a]; h != grid.West {
+	if h, _ := plan.Hop(a); h != grid.West {
 		t.Fatalf("a must hop west (vertical pattern black), got %v", h)
 	}
 	// After the simultaneous hops r, a and b coincide (paper: "r, a, b are
 	// located at the same position and a, b are removed").
-	rAfter := r.Pos.Add(plan.Hops[r])
-	aAfter := a.Pos.Add(plan.Hops[a])
-	bAfter := b.Pos.Add(plan.Hops[b])
+	rHop, _ := plan.Hop(r)
+	aHop, _ := plan.Hop(a)
+	bHop, _ := plan.Hop(b)
+	rAfter := c.PosOf(r).Add(rHop)
+	aAfter := c.PosOf(a).Add(aHop)
+	bAfter := c.PosOf(b).Add(bHop)
 	if rAfter != bAfter || aAfter != bAfter {
 		t.Fatalf("r,a,b must coincide after hops: %v %v %v", rAfter, aAfter, bAfter)
 	}
@@ -165,11 +174,15 @@ func TestFig3aOverlapByTwo(t *testing.T) {
 	}
 	up, down := c.At(1), c.At(2)   // (0,1),(1,1): first battlement, hop south
 	mid1, mid2 := c.At(3), c.At(4) // (1,0),(2,0): valley, hop north
-	if plan.Hops[up] != grid.South || plan.Hops[down] != grid.South {
-		t.Errorf("battlement must hop south: %v %v", plan.Hops[up], plan.Hops[down])
+	upHop, _ := plan.Hop(up)
+	downHop, _ := plan.Hop(down)
+	if upHop != grid.South || downHop != grid.South {
+		t.Errorf("battlement must hop south: %v %v", upHop, downHop)
 	}
-	if plan.Hops[mid1] != grid.North || plan.Hops[mid2] != grid.North {
-		t.Errorf("valley must hop north: %v %v", plan.Hops[mid1], plan.Hops[mid2])
+	mid1Hop, _ := plan.Hop(mid1)
+	mid2Hop, _ := plan.Hop(mid2)
+	if mid1Hop != grid.North || mid2Hop != grid.North {
+		t.Errorf("valley must hop north: %v %v", mid1Hop, mid2Hop)
 	}
 	// Execute a full round and verify the chain shortens and stays valid.
 	alg, err := New(c, Config{ViewingPathLength: 11, RunPeriod: 13, MaxMergeLen: 10, DisableRunStarts: true})
@@ -227,8 +240,9 @@ func TestMergeEquivariance(t *testing.T) {
 			t.Errorf("transform %+v: %d patterns, want %d", tr, len(plan.Patterns), len(refPlan.Patterns))
 		}
 		for i := 0; i < ref.Len(); i++ {
-			want := tr.Apply(refPlan.Hops[ref.At(i)])
-			if got := plan.Hops[mc.At(i)]; got != want {
+			refHop, _ := refPlan.Hop(ref.At(i))
+			want := tr.Apply(refHop)
+			if got, _ := plan.Hop(mc.At(i)); got != want {
 				t.Errorf("transform %+v robot %d: hop %v, want %v", tr, i, got, want)
 			}
 		}

@@ -172,8 +172,8 @@ func (t *TerminateReason) UnmarshalText(text []byte) error {
 type Run struct {
 	// ID is instrumentation-only (unique per simulation).
 	ID int
-	// Host is the robot currently carrying the run.
-	Host *chain.Robot
+	// Host is the handle of the robot currently carrying the run.
+	Host chain.Handle
 	// Dir is the fixed moving direction along the chain: +1 or -1.
 	Dir int
 	// Mode is the current operating mode.
@@ -181,15 +181,16 @@ type Run struct {
 	// TraverseLeft counts the remaining hop-free moves of ModeTraverse.
 	TraverseLeft int
 	// OpOrigin is the corner robot where the current traverse operation
-	// started; it becomes the passing target of an approaching run that
-	// interrupts the operation (Fig 14).
-	OpOrigin *chain.Robot
+	// started (chain.None when unset); it becomes the passing target of an
+	// approaching run that interrupts the operation (Fig 14).
+	OpOrigin chain.Handle
 	// OpTarget is the corner robot the current traverse operation moves
-	// to; its removal terminates the run (Table 1.5).
-	OpTarget *chain.Robot
-	// PassTarget is the corner robot a passing run travels to (Fig 8);
-	// its removal terminates the run (Table 1.4).
-	PassTarget *chain.Robot
+	// to (chain.None when unset); its removal terminates the run
+	// (Table 1.5).
+	OpTarget chain.Handle
+	// PassTarget is the corner robot a passing run travels to (Fig 8,
+	// chain.None when unset); its removal terminates the run (Table 1.4).
+	PassTarget chain.Handle
 	// PassBudget is an engine safeguard: the maximum number of rounds the
 	// current passing operation may still take (the paper bounds passing
 	// by 6 rounds; exceeding the budget marks the run stuck).
@@ -204,5 +205,5 @@ type Run struct {
 
 // String summarises the run for debugging.
 func (r *Run) String() string {
-	return fmt.Sprintf("run#%d{dir=%+d mode=%s host=%d}", r.ID, r.Dir, r.Mode, r.Host.ID)
+	return fmt.Sprintf("run#%d{dir=%+d mode=%s host=%d}", r.ID, r.Dir, r.Mode, int(r.Host))
 }

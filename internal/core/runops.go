@@ -21,15 +21,15 @@ type runDecision struct {
 	// hop is the runner's reshapement hop (zero when none).
 	hop grid.Vec
 	// advanceTo is the robot the run moves to (the look-phase successor in
-	// moving direction); nil when terminating.
-	advanceTo *chain.Robot
+	// moving direction); chain.None when terminating.
+	advanceTo chain.Handle
 
 	// Post-advance state.
 	newMode         RunMode
 	newTraverseLeft int
-	newOpOrigin     *chain.Robot
-	newOpTarget     *chain.Robot
-	newPassTarget   *chain.Robot
+	newOpOrigin     chain.Handle
+	newOpTarget     chain.Handle
+	newPassTarget   chain.Handle
 	newPassBudget   int
 }
 
@@ -46,6 +46,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 	d := runDecision{
 		run:             run,
 		mergeRobot:      -1,
+		advanceTo:       chain.None,
 		newMode:         run.Mode,
 		newTraverseLeft: run.TraverseLeft,
 		newOpOrigin:     run.OpOrigin,
@@ -63,7 +64,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 	scanMax := min(a.cfg.ViewingPathLength, a.ch.Len()-1)
 
 	// Table 1.3 — the runner is part of a merge operation this round.
-	if plan.Participants[run.Host] {
+	if plan.Participant(run.Host) {
 		d.terminate, d.reason = true, TermMerge
 		d.mergeRobot = a.patternOf(idx, run.Dir, plan)
 		return d
@@ -90,11 +91,11 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 
 	// Table 1.4 / 1.5 — the target corner of the current passing or
 	// traverse operation was removed by a merge.
-	if run.Mode == ModePassing && run.PassTarget != nil && !a.ch.Contains(run.PassTarget) {
+	if run.Mode == ModePassing && run.PassTarget != chain.None && !a.ch.Contains(run.PassTarget) {
 		d.terminate, d.reason = true, TermPassTargetGone
 		return d
 	}
-	if run.Mode == ModeTraverse && run.OpTarget != nil && !a.ch.Contains(run.OpTarget) {
+	if run.Mode == ModeTraverse && run.OpTarget != chain.None && !a.ch.Contains(run.OpTarget) {
 		d.terminate, d.reason = true, TermOpTargetGone
 		return d
 	}
@@ -145,7 +146,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 			// The interrupted operation keeps its own target corner
 			// (Fig 14: "the target of S1 as before is c2").
 			d.newPassTarget = run.OpTarget
-		} else if partner.Mode == ModeTraverse && partner.OpOrigin != nil {
+		} else if partner.Mode == ModeTraverse && partner.OpOrigin != chain.None {
 			// The partner is mid-operation: our target is the corner where
 			// that operation started (Fig 14: "the target corner of S2 is
 			// the corner c1").
@@ -153,7 +154,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 		} else {
 			d.newPassTarget = partner.Host
 		}
-		d.newTraverseLeft, d.newOpOrigin, d.newOpTarget = 0, nil, nil
+		d.newTraverseLeft, d.newOpOrigin, d.newOpTarget = 0, chain.None, chain.None
 		return d
 	}
 
@@ -162,7 +163,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 		d.newTraverseLeft--
 		if d.newTraverseLeft <= 0 {
 			d.newMode = ModeNormal
-			d.newTraverseLeft, d.newOpOrigin, d.newOpTarget = 0, nil, nil
+			d.newTraverseLeft, d.newOpOrigin, d.newOpTarget = 0, chain.None, chain.None
 		}
 		return d
 	}
@@ -199,8 +200,11 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 // approachingRunAt returns a run on the robot at view offset k moving
 // towards the observer (direction opposite to dir), or nil.
 func (a *Algorithm) approachingRunAt(s view.Snapshot, k, dir int) *Run {
-	h := a.byRobot[s.Robot(k)]
-	for _, r := range h.stored() {
+	hr, ok := a.byHandle.Get(s.Robot(k))
+	if !ok {
+		return nil
+	}
+	for _, r := range hr.stored() {
 		if r.Dir == -dir && !r.justStarted {
 			return r
 		}
@@ -230,10 +234,10 @@ func (a *Algorithm) patternOf(idx, dir int, plan *MergePlan) int {
 			continue
 		}
 		if covers(pat, idx+dir) {
-			return a.ch.At(pat.FirstBlack).ID
+			return a.ch.ID(a.ch.At(pat.FirstBlack))
 		}
 		if fallback == -1 {
-			fallback = a.ch.At(pat.FirstBlack).ID
+			fallback = a.ch.ID(a.ch.At(pat.FirstBlack))
 		}
 	}
 	return fallback

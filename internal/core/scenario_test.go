@@ -39,8 +39,8 @@ func stepOK(t *testing.T, alg *Algorithm) RoundReport {
 // topRowLen counts robots on the given y level.
 func topRowLen(c *chain.Chain, y int) int {
 	n := 0
-	for _, r := range c.Robots() {
-		if r.Pos.Y == y {
+	for _, h := range c.Handles() {
+		if c.PosOf(h).Y == y {
 			n++
 		}
 	}
@@ -58,8 +58,8 @@ func TestFig7aGoodPair(t *testing.T) {
 	// Top side runs from index 2s (corner (s,s)) to 3s (corner (0,s)).
 	left := alg.InjectRun(3*s, -1)  // at (0,s), moving east along the top
 	right := alg.InjectRun(2*s, +1) // at (s,s), moving west along the top
-	if left.Host.Pos != grid.V(0, s) || right.Host.Pos != grid.V(s, s) {
-		t.Fatalf("corner lookup wrong: %v %v", left.Host.Pos, right.Host.Pos)
+	if c.PosOf(left.Host) != grid.V(0, s) || c.PosOf(right.Host) != grid.V(s, s) {
+		t.Fatalf("corner lookup wrong: %v %v", c.PosOf(left.Host), c.PosOf(right.Host))
 	}
 
 	prevTop := topRowLen(c, s)
@@ -104,8 +104,8 @@ func TestFig7aReshapeGeometry(t *testing.T) {
 	next0 := c.At(2*s + 1)
 	stepOK(t, alg)
 	// The old host hopped diagonally: forward (west) + trailing (south).
-	if host0.Pos != grid.V(s-1, s-1) {
-		t.Errorf("runner hop landed at %v, want %v", host0.Pos, grid.V(s-1, s-1))
+	if c.PosOf(host0) != grid.V(s-1, s-1) {
+		t.Errorf("runner hop landed at %v, want %v", c.PosOf(host0), grid.V(s-1, s-1))
 	}
 	// The run moved to the next robot in moving direction (Lemma 3.1).
 	if run.Host != next0 {
@@ -175,7 +175,7 @@ func TestFig8PassingTargets(t *testing.T) {
 	alg := newAlg(t, true, squareRing(s)...)
 	a := alg.InjectRun(2*s, +1)
 	b := alg.InjectRun(2*s+9, -1)
-	var aHost, bHost *chain.Robot
+	var aHost, bHost chain.Handle
 	for round := 0; round < 20; round++ {
 		// Record hosts before the trigger round: distance 9 shrinks by 2
 		// per round (B does not hop, A hops but both advance), reaching
@@ -185,11 +185,11 @@ func TestFig8PassingTargets(t *testing.T) {
 		if a.Mode == ModePassing {
 			if a.PassTarget != bHost {
 				t.Errorf("a's passing target = robot %v, want b's host at trigger %v",
-					a.PassTarget.ID, bHost.ID)
+					a.PassTarget, bHost)
 			}
 			if b.Mode == ModePassing && b.PassTarget != aHost {
 				t.Errorf("b's passing target = robot %v, want a's host at trigger %v",
-					b.PassTarget.ID, aHost.ID)
+					b.PassTarget, aHost)
 			}
 			return
 		}
@@ -218,16 +218,16 @@ func TestFig14PassingInterruptsTraverse(t *testing.T) {
 		stepOK(t, alg)
 		if a.Mode == ModePassing {
 			if a.PassTarget != bOrigin {
-				t.Errorf("a must target b's operation origin %d, got %v", bOrigin.ID, a.PassTarget.ID)
+				t.Errorf("a must target b's operation origin %d, got %v", bOrigin, a.PassTarget)
 			}
 			if b.Mode == ModePassing && b.PassTarget != bTarget {
-				t.Errorf("b must keep its operation target %d, got %v", bTarget.ID, b.PassTarget.ID)
+				t.Errorf("b must keep its operation target %d, got %v", bTarget, b.PassTarget)
 			}
 			return
 		}
 		if b.Mode == ModePassing {
 			if b.PassTarget != bTarget {
-				t.Errorf("b must keep its operation target %d, got %v", bTarget.ID, b.PassTarget.ID)
+				t.Errorf("b must keep its operation target %d, got %v", bTarget, b.PassTarget)
 			}
 			return
 		}
@@ -321,7 +321,9 @@ func TestTable1Endpoint(t *testing.T) {
 // whose target corner leaves the chain terminates.
 func TestTable1TargetRemoved(t *testing.T) {
 	const s = 24
-	foreign := &chain.Robot{ID: -1}
+	// A handle outside the chain's handle space simulates a target robot
+	// that has been merged away (Contains reports false for it).
+	foreign := chain.Handle(1 << 20)
 
 	alg := newAlg(t, true, squareRing(s)...)
 	pass := alg.InjectRun(2*s, +1)
@@ -361,8 +363,8 @@ func TestFig5CornerStartHop(t *testing.T) {
 	if rep.StartHops != 4 {
 		t.Errorf("expected 4 corner-cut hops, got %d", rep.StartHops)
 	}
-	if corner.Pos != grid.V(1, 1) {
-		t.Errorf("corner hopped to %v, want (1,1)", corner.Pos)
+	if c.PosOf(corner) != grid.V(1, 1) {
+		t.Errorf("corner hopped to %v, want (1,1)", c.PosOf(corner))
 	}
 	for _, run := range alg.Runs() {
 		if run.Kind != StartCorner {

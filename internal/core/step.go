@@ -34,19 +34,22 @@ func (h *hostRuns) stored() []*Run {
 }
 
 // stepScratch is the Algorithm's reusable per-round working state. Every
-// map and slice is cleared (not re-made) at the start of the phase using
+// table and slice is cleared (not re-made) at the start of the phase using
 // it, which keeps the steady-state round loop allocation-free; see
-// DESIGN.md §5 for the reuse rules. Nothing here survives a round as
-// meaningful state — the chain, the run registry and the round counter are
-// the only true state of the algorithm, which is why scratch reuse cannot
-// affect determinism.
+// DESIGN.md §5 for the reuse rules. The per-robot tables are flat
+// chain.Scratch slices indexed by handle with O(1) generation clearing —
+// no pointer-keyed maps remain on the hot path (DESIGN.md §6). Nothing
+// here survives a round as meaningful state — the chain, the run registry
+// and the round counter are the only true state of the algorithm, which is
+// why scratch reuse cannot affect determinism.
 type stepScratch struct {
 	decisions   []runDecision
 	pending     []pendingStart
-	startHops   map[*chain.Robot]grid.Vec
-	hops        map[*chain.Robot]grid.Vec
-	runnerHop   map[*chain.Robot]bool
-	survivorOf  map[*chain.Robot]*chain.Robot
+	startHops   chain.Scratch[grid.Vec]
+	hops        chain.Scratch[grid.Vec]
+	runnerHop   chain.Scratch[struct{}]
+	survivorOf  chain.Scratch[chain.Handle]
+	moved       []chain.Handle
 	pairKey     map[[2]int]int
 	runViews    []view.RunView
 	starts      []StartEvent
@@ -62,7 +65,7 @@ type Algorithm struct {
 	cfg      Config
 	ch       *chain.Chain
 	runs     []*Run
-	byRobot  map[*chain.Robot]hostRuns
+	byHandle chain.Scratch[hostRuns]
 	round    int
 	nextRun  int
 	nextPair int
@@ -86,19 +89,17 @@ func New(ch *chain.Chain, cfg Config) (*Algorithm, error) {
 	if err := ch.CheckEdges(); err != nil {
 		return nil, err
 	}
-	return &Algorithm{
-		cfg:     cfg,
-		ch:      ch,
-		byRobot: make(map[*chain.Robot]hostRuns),
-		plan:    NewMergePlan(),
+	a := &Algorithm{
+		cfg:  cfg,
+		ch:   ch,
+		plan: NewMergePlan(),
 		scratch: stepScratch{
-			startHops:  make(map[*chain.Robot]grid.Vec),
-			hops:       make(map[*chain.Robot]grid.Vec),
-			runnerHop:  make(map[*chain.Robot]bool),
-			survivorOf: make(map[*chain.Robot]*chain.Robot),
-			pairKey:    make(map[[2]int]int),
+			pairKey: make(map[[2]int]int),
 		},
-	}, nil
+	}
+	// Size the per-handle tables once; every later Reset is O(1).
+	a.byHandle.Reset(ch.NumHandles())
+	return a, nil
 }
 
 // Chain exposes the simulated chain (read-only use expected).
@@ -119,13 +120,13 @@ func (a *Algorithm) Runs() []*Run { return a.runs }
 // semantics (they exist from the next look phase on). The returned slice
 // is a shared scratch buffer, valid until the next RunsOn call; the view
 // predicates (HasRunTowards/HasRunAway) consume it immediately.
-func (a *Algorithm) RunsOn(r *chain.Robot) []view.RunView {
-	h := a.byRobot[r]
-	if h.n == 0 {
+func (a *Algorithm) RunsOn(h chain.Handle) []view.RunView {
+	hr, ok := a.byHandle.Get(h)
+	if !ok || hr.n == 0 {
 		return nil
 	}
 	out := a.scratch.runViews[:0]
-	for _, run := range h.stored() {
+	for _, run := range hr.stored() {
 		if !run.justStarted {
 			out = append(out, view.RunView{Dir: run.Dir})
 		}
@@ -144,7 +145,7 @@ func (a *Algorithm) Gathered() bool { return a.ch.Gathered() }
 // pendingStart is a run about to be created this round, with the pair
 // annotation filled in by pairStarts.
 type pendingStart struct {
-	robot *chain.Robot
+	robot chain.Handle
 	idx   int
 	dir   int
 	kind  StartKind
@@ -212,27 +213,34 @@ func (a *Algorithm) InjectRun(idx, dir int) *Run {
 		Dir:        dir,
 		StartRound: a.round,
 		Kind:       StartStairway,
+		OpOrigin:   chain.None,
+		OpTarget:   chain.None,
+		PassTarget: chain.None,
 	}
 	a.nextRun++
 	a.runs = append(a.runs, run)
-	h := a.byRobot[host]
-	h.add(run)
-	a.byRobot[host] = h
+	hr, _ := a.byHandle.Get(host)
+	hr.add(run)
+	a.byHandle.Set(host, hr)
 	return run
 }
 
 // resolveAlive follows merge survivor links (recorded in the scratch
-// survivor map for the current round) until it reaches a robot still on
+// survivor table for the current round) until it reaches a robot still on
 // the chain. maxHops bounds the walk by the number of merge events; a
 // longer chain of links would be a cycle, which cannot happen.
-func (a *Algorithm) resolveAlive(r *chain.Robot, maxHops int) *chain.Robot {
-	for hops := 0; r != nil && !a.ch.Contains(r); hops++ {
+func (a *Algorithm) resolveAlive(h chain.Handle, maxHops int) chain.Handle {
+	for hops := 0; h != chain.None && !a.ch.Contains(h); hops++ {
 		if hops > maxHops {
-			return nil
+			return chain.None
 		}
-		r = a.scratch.survivorOf[r]
+		next, ok := a.scratch.survivorOf.Get(h)
+		if !ok {
+			return chain.None
+		}
+		h = next
 	}
-	return r
+	return h
 }
 
 // Step executes one synchronous round and reports what happened. Stepping
@@ -250,6 +258,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	}
 	a.anomalies = Anomalies{}
 	sc := &a.scratch
+	nh := a.ch.NumHandles()
 
 	// ---- Look & compute -------------------------------------------------
 	// 1. Merge patterns (Fig 15 step 1). Participants suspend run
@@ -276,14 +285,13 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	// 3. Run starts (Fig 15 step 3): every L-th round, robots matching the
 	//    Fig 5 patterns start runs, unless they take part in a merge.
 	pending := sc.pending[:0]
-	startHops := sc.startHops
-	clear(startHops)
+	sc.startHops.Reset(nh)
 	if !a.cfg.DisableRunStarts &&
 		a.round%a.cfg.RunPeriod == 0 && a.ch.Len() >= MinChainForRuns &&
 		(!a.cfg.SequentialRuns || len(a.runs) == 0) {
 		for i := 0; i < a.ch.Len(); i++ {
 			r := a.ch.At(i)
-			if plan.Participants[r] {
+			if plan.Participant(r) {
 				continue
 			}
 			s := view.At(a.ch, i, a.cfg.ViewingPathLength, a)
@@ -291,7 +299,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			if !ok {
 				continue
 			}
-			if a.byRobot[r].n+len(spec.Dirs) > 2 {
+			if hr, _ := a.byHandle.Get(r); hr.n+len(spec.Dirs) > 2 {
 				continue // a robot stores at most two run states
 			}
 			for _, dir := range spec.Dirs {
@@ -300,7 +308,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 				})
 			}
 			if !spec.Hop.IsZero() {
-				startHops[r] = spec.Hop
+				sc.startHops.Set(r, spec.Hop)
 			}
 		}
 		a.pairStarts(pending)
@@ -312,57 +320,69 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	// hop source: merge participants have no active run decisions or
 	// starts, runner/start hops collide only in anomalous situations,
 	// where both are suppressed.
-	hops := sc.hops
-	clear(hops)
-	for r, h := range plan.Hops {
-		hops[r] = h
+	sc.hops.Reset(nh)
+	for _, h := range plan.HopHandles() {
+		if v, ok := plan.Hop(h); ok {
+			sc.hops.Set(h, v)
+		}
 	}
-	rep.MergeHops = len(plan.Hops)
-	runnerHopped := sc.runnerHop
-	clear(runnerHopped)
+	rep.MergeHops = plan.HopCount()
+	sc.runnerHop.Reset(nh)
 	for i := range decisions {
 		d := &decisions[i]
 		if d.terminate || d.hop.IsZero() {
 			continue
 		}
 		r := d.run.Host
-		if _, dup := hops[r]; dup || runnerHopped[r] {
+		if sc.hops.Has(r) || sc.runnerHop.Has(r) {
 			a.anomalies.HopConflicts++
-			if runnerHopped[r] {
-				delete(hops, r)
+			if sc.runnerHop.Has(r) {
+				sc.hops.Delete(r)
 			}
 			continue
 		}
-		hops[r] = d.hop
-		runnerHopped[r] = true
+		sc.hops.Set(r, d.hop)
+		sc.runnerHop.Set(r, struct{}{})
 		rep.RunnerHops++
 	}
-	for r, h := range startHops {
-		if _, dup := hops[r]; dup {
+	for _, r := range sc.startHops.Keys() {
+		h, _ := sc.startHops.Get(r)
+		if sc.hops.Has(r) {
 			a.anomalies.HopConflicts++
 			continue
 		}
-		hops[r] = h
+		sc.hops.Set(r, h)
 		rep.StartHops++
 	}
-	for r, h := range hops {
-		if !h.IsKingStep() {
-			return rep, fmt.Errorf("core: robot %d would hop %v (not a king step)", r.ID, h)
+	moved := sc.moved[:0]
+	for _, r := range sc.hops.Keys() {
+		h, ok := sc.hops.Get(r)
+		if !ok {
+			continue // suppressed by a hop conflict above
 		}
-		r.Pos = r.Pos.Add(h)
+		if !h.IsKingStep() {
+			return rep, fmt.Errorf("core: robot %d would hop %v (not a king step)", a.ch.ID(r), h)
+		}
+		a.ch.MoveBy(r, h)
+		moved = append(moved, r)
 	}
-	if err := a.ch.CheckEdges(); err != nil {
+	sc.moved = moved
+	// Only edges incident to a moved robot can have changed; checking those
+	// is equivalent to the full CheckEdges sweep at O(#moved) cost.
+	if err := a.ch.CheckEdgesAround(moved); err != nil {
 		return rep, fmt.Errorf("core: chain broke in round %d: %w", a.round, err)
 	}
 
 	// ---- Merge resolution ------------------------------------------------
-	events := a.ch.AppendResolveMerges(sc.mergeEvents[:0])
+	// Co-location requires a mover, so resolving around the robots that
+	// hopped this round finds every merge in O(#moved + #merges) without
+	// rescanning the ring.
+	events := a.ch.AppendResolveMergesAround(sc.mergeEvents[:0], moved)
 	sc.mergeEvents = events
 	rep.MergeEvents = events
-	survivorOf := sc.survivorOf
-	clear(survivorOf)
+	sc.survivorOf.Reset(nh)
 	for _, ev := range events {
-		survivorOf[ev.Removed] = ev.Survivor
+		sc.survivorOf.Set(ev.Removed, ev.Survivor)
 	}
 
 	// ---- Apply run decisions ----------------------------------------------
@@ -374,7 +394,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		if d.terminate {
 			ends = append(ends, EndEvent{
 				RunID: run.ID, Reason: d.reason,
-				RobotID: run.Host.ID, MergeRobot: d.mergeRobot,
+				RobotID: a.ch.ID(run.Host), MergeRobot: d.mergeRobot,
 			})
 			if d.reason == TermStuck {
 				a.anomalies.StuckRuns++
@@ -382,10 +402,10 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			continue
 		}
 		next := a.resolveAlive(d.advanceTo, len(events))
-		if next == nil {
+		if next == chain.None {
 			ends = append(ends, EndEvent{
 				RunID: run.ID, Reason: TermStuck,
-				RobotID: run.Host.ID, MergeRobot: -1,
+				RobotID: a.ch.ID(run.Host), MergeRobot: -1,
 			})
 			a.anomalies.LostAdvance++
 			continue
@@ -401,7 +421,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			// Arrived at the passing target corner: resume normal
 			// operation (Fig 8 "afterwards, they return to normal").
 			run.Mode = ModeNormal
-			run.PassTarget = nil
+			run.PassTarget = chain.None
 			run.PassBudget = 0
 		}
 		alive = append(alive, run)
@@ -416,7 +436,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	starts := sc.starts[:0]
 	for _, ps := range pending {
 		r := a.resolveAlive(ps.robot, len(events))
-		if r == nil {
+		if r == chain.None {
 			continue
 		}
 		run := &Run{
@@ -425,6 +445,9 @@ func (a *Algorithm) Step() (RoundReport, error) {
 			Dir:         ps.dir,
 			StartRound:  a.round,
 			Kind:        ps.kind,
+			OpOrigin:    chain.None,
+			OpTarget:    chain.None,
+			PassTarget:  chain.None,
 			justStarted: true,
 		}
 		a.nextRun++
@@ -441,24 +464,24 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		}
 		a.runs = append(a.runs, run)
 		starts = append(starts, StartEvent{
-			RunID: run.ID, RobotID: r.ID, Dir: ps.dir, Kind: ps.kind,
+			RunID: run.ID, RobotID: a.ch.ID(r), Dir: ps.dir, Kind: ps.kind,
 			Pair: ps.pair, Good: ps.good,
 		})
 	}
 	sc.starts = starts
 	rep.Starts = starts
 
-	// Rebuild the run registry and audit occupancy. Clearing keeps the
-	// map's storage (and drops the previous round's keys, so robots
-	// removed by merges are not retained).
-	clear(a.byRobot)
+	// Rebuild the run registry and audit occupancy. The O(1) generation
+	// reset drops the previous round's entries, so robots removed by
+	// merges are not retained.
+	a.byHandle.Reset(nh)
 	for _, run := range a.runs {
-		h := a.byRobot[run.Host]
-		h.add(run)
-		a.byRobot[run.Host] = h
+		hr, _ := a.byHandle.Get(run.Host)
+		hr.add(run)
+		a.byHandle.Set(run.Host, hr)
 	}
-	for _, h := range a.byRobot {
-		if h.n > 2 {
+	for _, h := range a.byHandle.Keys() {
+		if hr, ok := a.byHandle.Get(h); ok && hr.n > 2 {
 			a.anomalies.TripleOccupancy++
 		}
 	}

@@ -1,0 +1,124 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/generate"
+	"gridgather/internal/sim"
+)
+
+// -update rewrites the golden fixtures from the current implementation:
+//
+//	go test ./internal/sim -run TestGoldenTraces -update
+//
+// The committed fixtures were recorded with the pre-refactor pointer-based
+// chain representation; the test is the representation-equivalence gate of
+// the handle/SoA core (every later representation change must reproduce
+// the exact same Result, byte for byte).
+var updateGolden = flag.Bool("update", false, "rewrite golden trace fixtures")
+
+// goldenWorkload is one seeded configuration of the equivalence suite. The
+// mix deliberately covers the simulator's behaviour space: run-driven
+// squares, merge-heavy doubled paths, spiral worst cases, tangled random
+// walks and irregular polyominoes.
+type goldenWorkload struct {
+	name  string
+	build func() (*chain.Chain, error)
+}
+
+func goldenWorkloads() []goldenWorkload {
+	return []goldenWorkload{
+		{"rectangle_48x48", func() (*chain.Chain, error) { return generate.Rectangle(48, 48) }},
+		{"rectangle_20x77", func() (*chain.Chain, error) { return generate.Rectangle(20, 77) }},
+		{"spiral_w8", func() (*chain.Chain, error) { return generate.Spiral(8) }},
+		{"staircase_12x5", func() (*chain.Chain, error) { return generate.Staircase(12, 5) }},
+		{"comb_8x9x3", func() (*chain.Chain, error) { return generate.Comb(8, 9, 3) }},
+		{"walk_256_seed11", func() (*chain.Chain, error) {
+			return generate.RandomClosedWalk(256, rand.New(rand.NewSource(11)))
+		}},
+		{"walk_512_seed42", func() (*chain.Chain, error) {
+			return generate.RandomClosedWalk(512, rand.New(rand.NewSource(42)))
+		}},
+		{"polyomino_300_seed5", func() (*chain.Chain, error) {
+			return generate.RandomPolyomino(300, rand.New(rand.NewSource(5)))
+		}},
+		{"doubled_40_seed3", func() (*chain.Chain, error) {
+			return generate.DoubledPath(40, rand.New(rand.NewSource(3)))
+		}},
+		{"serpentine_6x21", func() (*chain.Chain, error) { return generate.Serpentine(6, 21) }},
+		{"lshape_18x11x4", func() (*chain.Chain, error) { return generate.LShape(18, 11, 4) }},
+		{"histogram_seed7", func() (*chain.Chain, error) {
+			return generate.RandomHistogram(24, 15, rand.New(rand.NewSource(7)))
+		}},
+	}
+}
+
+// TestGoldenTraces steps every seeded workload to completion (invariant
+// checks on) and byte-compares the serialised Result JSON against the
+// committed fixture. Any divergence means the engine's observable behaviour
+// changed — intentional changes must regenerate the fixtures with -update
+// and justify the diff in review.
+func TestGoldenTraces(t *testing.T) {
+	for _, w := range goldenWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			ch, err := w.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", w.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update to record): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("Result diverged from golden fixture %s\ngot:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesCoverAllFixtures fails when a committed fixture no longer
+// has a workload producing it — a stale file would silently stop gating.
+func TestGoldenTracesCoverAllFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Skipf("no golden directory yet: %v", err)
+	}
+	known := map[string]bool{}
+	for _, w := range goldenWorkloads() {
+		known[w.name+".json"] = true
+	}
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("stale fixture %s: no workload generates it", e.Name())
+		}
+	}
+	if len(entries) != len(known) {
+		t.Errorf("fixture count %d != workload count %d (run -update?)", len(entries), len(known))
+	}
+}

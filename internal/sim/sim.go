@@ -113,9 +113,10 @@ type Engine struct {
 
 	mergeGap int
 	// prevPos and occupancy are per-round scratch for the invariant
-	// checks, cleared and refilled instead of re-allocated (DESIGN.md §5).
-	prevPos   map[*chain.Robot]grid.Vec
-	occupancy map[*chain.Robot]int
+	// checks: flat per-handle tables with O(1) generation clearing
+	// (DESIGN.md §5/§6).
+	prevPos   chain.Scratch[grid.Vec]
+	occupancy chain.Scratch[int]
 }
 
 // NewEngine builds an engine for the chain. The chain is owned by the
@@ -249,13 +250,9 @@ func (e *Engine) account(rep core.RoundReport) {
 
 func (e *Engine) snapshotPositions() {
 	ch := e.Chain()
-	if e.prevPos == nil {
-		e.prevPos = make(map[*chain.Robot]grid.Vec, ch.Len())
-	} else {
-		clear(e.prevPos)
-	}
-	for _, r := range ch.Robots() {
-		e.prevPos[r] = r.Pos
+	e.prevPos.Reset(ch.NumHandles())
+	for _, h := range ch.Handles() {
+		e.prevPos.Set(h, ch.PosOf(h))
 	}
 }
 
@@ -271,27 +268,24 @@ func (e *Engine) checkInvariants(rep core.RoundReport) error {
 	if err := ch.CheckNoZeroEdges(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvariant, err)
 	}
-	for _, r := range ch.Robots() {
-		prev, ok := e.prevPos[r]
+	for _, h := range ch.Handles() {
+		prev, ok := e.prevPos.Get(h)
 		if !ok {
-			return fmt.Errorf("%w: robot %d appeared from nowhere", ErrInvariant, r.ID)
+			return fmt.Errorf("%w: robot %d appeared from nowhere", ErrInvariant, ch.ID(h))
 		}
-		if !r.Pos.Sub(prev).IsKingStep() {
-			return fmt.Errorf("%w: robot %d moved %v in one round", ErrInvariant, r.ID, r.Pos.Sub(prev))
+		if d := ch.PosOf(h).Sub(prev); !d.IsKingStep() {
+			return fmt.Errorf("%w: robot %d moved %v in one round", ErrInvariant, ch.ID(h), d)
 		}
 	}
-	if e.occupancy == nil {
-		e.occupancy = make(map[*chain.Robot]int)
-	} else {
-		clear(e.occupancy)
-	}
+	e.occupancy.Reset(ch.NumHandles())
 	for _, run := range e.alg.Runs() {
 		if !ch.Contains(run.Host) {
 			return fmt.Errorf("%w: run %d hosted on removed robot", ErrInvariant, run.ID)
 		}
-		e.occupancy[run.Host]++
-		if e.occupancy[run.Host] > 3 {
-			return fmt.Errorf("%w: robot %d hosts %d runs", ErrInvariant, run.Host.ID, e.occupancy[run.Host])
+		n, _ := e.occupancy.Get(run.Host)
+		e.occupancy.Set(run.Host, n+1)
+		if n+1 > 3 {
+			return fmt.Errorf("%w: robot %d hosts %d runs", ErrInvariant, ch.ID(run.Host), n+1)
 		}
 	}
 	return nil

@@ -133,7 +133,7 @@ func TestRecorderObserverContract(t *testing.T) {
 	}
 	rec := NewRecorder()
 	rec.InitialFrame(ch)
-	ch.At(0).Pos = grid.V(50, 50)
+	ch.SetPos(ch.At(0), grid.V(50, 50))
 	if rec.Frames()[0].Positions[0] == grid.V(50, 50) {
 		t.Error("recorder aliases live positions")
 	}

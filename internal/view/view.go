@@ -31,8 +31,9 @@ type RunView struct {
 	Dir int
 }
 
-// RunLocator reports the run states visible on a robot. The engine's run
-// registry implements it; tests may substitute fakes.
+// RunLocator reports the run states visible on a robot, identified by its
+// chain handle. The engine's run registry implements it; tests may
+// substitute fakes.
 //
 // Buffer contract: implementations may return a shared scratch slice that
 // is only valid until the next RunsOn call (the engine's registry does, to
@@ -40,24 +41,32 @@ type RunView struct {
 // iterating one result before requesting another; the Snapshot predicates
 // below all do.
 type RunLocator interface {
-	RunsOn(r *chain.Robot) []RunView
+	RunsOn(h chain.Handle) []RunView
 }
 
 // EmptyRuns is a RunLocator with no runs anywhere.
 type EmptyRuns struct{}
 
 // RunsOn implements RunLocator.
-func (EmptyRuns) RunsOn(*chain.Robot) []RunView { return nil }
+func (EmptyRuns) RunsOn(chain.Handle) []RunView { return nil }
 
 // Snapshot is one robot's view of the chain: the robots at chain offsets
 // -V..+V relative to itself. Offsets wrap around the closed chain, so on a
 // short chain the same robot can appear at several offsets, exactly as a
 // robot with local vision would perceive it.
 type Snapshot struct {
-	ch     *chain.Chain
-	center int
-	v      int
-	runs   RunLocator
+	// order and pos alias the chain's ring-order cache and flat position
+	// store (chain.Handles / chain.PosStore): window accesses are plain
+	// array arithmetic with no per-access indirection through the chain.
+	// Snapshots are look-phase values — the aliases are valid until the
+	// chain splices, which only happens after all views are consumed.
+	order     []chain.Handle
+	pos       []grid.Vec
+	center    int
+	centerPos grid.Vec
+	v         int
+	n         int
+	runs      RunLocator
 }
 
 // At builds the snapshot of the robot at index center with viewing path
@@ -66,15 +75,34 @@ func At(ch *chain.Chain, center, v int, runs RunLocator) Snapshot {
 	if runs == nil {
 		runs = EmptyRuns{}
 	}
-	return Snapshot{ch: ch, center: center, v: v, runs: runs}
+	order := ch.Handles()
+	pos := ch.PosStore()
+	n := len(order)
+	center = chain.WrapIndex(center, n)
+	return Snapshot{
+		order:     order,
+		pos:       pos,
+		center:    center,
+		centerPos: pos[order[center]],
+		v:         v,
+		n:         n,
+		runs:      runs,
+	}
 }
 
+// idx maps a window offset to a ring index (the shared cyclic-wrap
+// arithmetic of chain.WrapIndex, applied to the cached centre).
+func (s *Snapshot) idx(k int) int { return chain.WrapIndex(s.center+k, s.n) }
+
+// abs returns the absolute position of the robot at window offset k.
+func (s *Snapshot) abs(k int) grid.Vec { return s.pos[s.order[s.idx(k)]] }
+
 // V returns the viewing path length.
-func (s Snapshot) V() int { return s.v }
+func (s *Snapshot) V() int { return s.v }
 
 // check panics when an offset outside the viewing range is requested —
 // that would be a non-local rule, which the model forbids.
-func (s Snapshot) check(k int) {
+func (s *Snapshot) check(k int) {
 	if k < -s.v || k > s.v {
 		panic(fmt.Sprintf("view: offset %d outside viewing path length %d (non-local rule)", k, s.v))
 	}
@@ -82,29 +110,31 @@ func (s Snapshot) check(k int) {
 
 // Rel returns the position of the robot at chain offset k relative to the
 // observing robot. Rel(0) is always the zero vector.
-func (s Snapshot) Rel(k int) grid.Vec {
+func (s *Snapshot) Rel(k int) grid.Vec {
 	s.check(k)
-	return s.ch.Pos(s.center + k).Sub(s.ch.Pos(s.center))
+	return s.abs(k).Sub(s.centerPos)
 }
 
 // Edge returns the displacement from the robot at offset k to the robot at
 // offset k+sign(step towards)… specifically Edge(k, d) = Rel(k+d) - Rel(k)
 // for d = +-1: the chain edge leaving offset k in direction d.
-func (s Snapshot) Edge(k, d int) grid.Vec {
-	return s.Rel(k + d).Sub(s.Rel(k))
+func (s *Snapshot) Edge(k, d int) grid.Vec {
+	s.check(k + d)
+	s.check(k)
+	return s.abs(k + d).Sub(s.abs(k))
 }
 
 // Runs returns the run states visible on the robot at offset k. The slice
 // follows the RunLocator buffer contract: valid until the next Runs call.
-func (s Snapshot) Runs(k int) []RunView {
+func (s *Snapshot) Runs(k int) []RunView {
 	s.check(k)
-	return s.runs.RunsOn(s.ch.At(s.center + k))
+	return s.runs.RunsOn(s.order[s.idx(k)])
 }
 
 // HasRunTowards reports whether the robot at offset k carries a run whose
 // moving direction points towards the observer (i.e. opposite to the sign
 // of k). For k = 0 it reports false.
-func (s Snapshot) HasRunTowards(k int) bool {
+func (s *Snapshot) HasRunTowards(k int) bool {
 	if k == 0 {
 		return false
 	}
@@ -119,7 +149,7 @@ func (s Snapshot) HasRunTowards(k int) bool {
 
 // HasRunAway reports whether the robot at offset k carries a run moving
 // away from the observer (same sign as k).
-func (s Snapshot) HasRunAway(k int) bool {
+func (s *Snapshot) HasRunAway(k int) bool {
 	if k == 0 {
 		return false
 	}
@@ -132,35 +162,42 @@ func (s Snapshot) HasRunAway(k int) bool {
 	return false
 }
 
-// Robot exposes the underlying robot at offset k for engine bookkeeping
+// Robot exposes the handle of the robot at offset k for engine bookkeeping
 // (run ownership hand-off and merge invalidation). Decision rules must not
 // use robot identity; see the package comment.
-func (s Snapshot) Robot(k int) *chain.Robot {
+func (s *Snapshot) Robot(k int) chain.Handle {
 	s.check(k)
-	return s.ch.At(s.center + k)
+	return s.order[s.idx(k)]
 }
 
 // ChainLen returns the current chain length. A robot does not know n, but
 // the snapshot uses it to recognise wrap-around in tests; rules must not
 // branch on it beyond guarding degenerate tiny chains, which is equivalent
 // to seeing one's own chain close within the viewing range.
-func (s Snapshot) ChainLen() int { return s.ch.Len() }
+func (s *Snapshot) ChainLen() int { return s.n }
 
 // AlignedAhead returns the number of robots j >= 1 such that the robots at
 // offsets 0, d, 2d, …, jd form a straight segment of identical unit edges
 // (the "next j robots on a straight line" of the paper's run operations).
 // It scans at most the viewing range and at most ChainLen()-1 robots.
-func (s Snapshot) AlignedAhead(d int) int {
-	first := s.Edge(0, d)
+func (s *Snapshot) AlignedAhead(d int) int {
+	maxScan := min(s.v, s.n-1)
+	if maxScan < 1 {
+		return 0
+	}
+	prev := s.centerPos
+	cur := s.abs(d)
+	first := cur.Sub(prev)
 	if !first.IsAxisUnit() {
 		return 0
 	}
 	count := 1
-	maxScan := min(s.v, s.ChainLen()-1)
-	for j := 1; j < maxScan; j++ {
-		if s.Edge(j*d, d) != first {
+	for j := 2; j <= maxScan; j++ {
+		next := s.abs(j * d)
+		if next.Sub(cur) != first {
 			break
 		}
+		cur = next
 		count++
 	}
 	return count

@@ -95,11 +95,11 @@ func TestWrapAroundShortChain(t *testing.T) {
 }
 
 // fakeRuns marks specific robots with run directions.
-type fakeRuns map[*chain.Robot][]int
+type fakeRuns map[chain.Handle][]int
 
-func (f fakeRuns) RunsOn(r *chain.Robot) []RunView {
+func (f fakeRuns) RunsOn(h chain.Handle) []RunView {
 	var out []RunView
-	for _, d := range f[r] {
+	for _, d := range f[h] {
 		out = append(out, RunView{Dir: d})
 	}
 	return out
