@@ -65,10 +65,35 @@ func main() {
 		opts.Observer = rec
 	}
 
-	n, diam := ch.Len(), ch.Diameter()
-	res, err := sim.Gather(ch, opts)
+	// Serialise the start configuration before the engine consumes the
+	// chain: on a watchdog or invariant failure this is the repro seed.
+	seedJSON, err := json.Marshal(ch)
 	if err != nil {
 		fatal(err)
+	}
+	n, diam := ch.Len(), ch.Diameter()
+	eng, err := sim.NewEngine(ch, opts)
+	if err != nil {
+		// Pre-run failure (invalid configuration, invalid chain): nothing
+		// was simulated, so a repro seed would only bury the real error.
+		fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		// An engine error (invariant violation, watchdog, algorithm fault)
+		// must fail loudly AND reproducibly: print the error, the exact
+		// start configuration as a ready-to-use -in file, and the
+		// generator flags, then exit non-zero. The partial result is shown
+		// so the failure round is visible.
+		fmt.Fprintf(os.Stderr, "gathersim: %v\n", err)
+		fmt.Fprintf(os.Stderr, "gathersim: aborted after %d rounds with %d/%d robots left\n",
+			res.Rounds, res.FinalLen, n)
+		if *inFile == "" {
+			fmt.Fprintf(os.Stderr, "gathersim: reproduce with: gathersim -shape %s -size %d -seed %d (flags as above), or via -in with the seed below\n",
+				*shape, *size, *seed)
+		}
+		fmt.Fprintf(os.Stderr, "gathersim: chain seed: %s\n", seedJSON)
+		os.Exit(1)
 	}
 
 	if rec != nil {

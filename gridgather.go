@@ -15,8 +15,12 @@
 //   - internal/sim — the synchronous engine with invariant checking,
 //     watchdog and instrumentation;
 //   - internal/generate — workload generators (spirals, combs,
-//     staircases, random polyominoes, random closed walks, …);
-//   - internal/baseline — the comparison strategies of the experiments.
+//     staircases, random polyominoes, random closed walks, …) and the
+//     fuzzing decoders (FromBytes);
+//   - internal/baseline — the comparison strategies of the experiments;
+//   - internal/oracle — the model-based conformance layer: a naive
+//     reimplementation of the round semantics checked against the
+//     engine in lockstep (Verify, cmd/gatherfuzz).
 //
 // Quickstart:
 //
@@ -37,6 +41,7 @@ import (
 	"gridgather/internal/core"
 	"gridgather/internal/generate"
 	"gridgather/internal/grid"
+	"gridgather/internal/oracle"
 	"gridgather/internal/sim"
 )
 
@@ -83,6 +88,22 @@ func Gather(ch *Chain, opts Options) (Result, error) { return sim.Gather(ch, opt
 
 // NewEngine creates a step-by-step simulation engine.
 func NewEngine(ch *Chain, opts Options) (*Engine, error) { return sim.NewEngine(ch, opts) }
+
+// Verify runs the model-based conformance check (internal/oracle,
+// DESIGN.md §7) on the chain: the fast engine and a naive
+// reimplementation of the round semantics execute in lockstep until
+// gathering, comparing full state every round under the invariant
+// battery. The chain is not modified. A zero-value cfg selects the
+// paper's defaults, like everywhere else in the facade. It returns nil
+// when the histories agree and gathering completes within the Theorem 1
+// round cap.
+func Verify(ch *Chain, cfg Config) error {
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	_, err := oracle.Check(cfg, ch, 0)
+	return err
+}
 
 // Workload generators (see internal/generate for the full set).
 

@@ -96,3 +96,23 @@ func TestFacadeAblationOptions(t *testing.T) {
 		t.Error("sequential option wrong")
 	}
 }
+
+// TestVerifyFacade: the public conformance hook accepts a healthy
+// workload and rejects nothing on it.
+func TestVerifyFacade(t *testing.T) {
+	ch, err := gridgather.Spiral(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gridgather.Verify(ch, gridgather.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// The zero-value config means defaults, like everywhere in the facade.
+	if err := gridgather.Verify(ch, gridgather.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Verify does not consume the chain: a subsequent Gather still works.
+	if _, err := gridgather.Gather(ch, gridgather.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import "fmt"
+
+// Fault selects a deliberate defect the algorithm injects into its own
+// round pipeline. Faults exist for the conformance layer's self-tests
+// (internal/oracle): a checking apparatus is only trustworthy if it
+// demonstrably catches broken engines, so the fuzz targets re-run with an
+// injected fault and assert the oracle reports a divergence — and that the
+// shrinker reduces the witness to a handful of robots. Production code
+// paths never set a fault; the zero value is fault-free.
+type Fault int
+
+const (
+	// FaultNone runs the pipeline unmodified.
+	FaultNone Fault = iota
+	// FaultSkipMergeResolution skips the post-move merge resolution pass:
+	// robots hop into co-location but are never spliced out of the ring,
+	// the paper's progress operation silently stops shortening the chain.
+	FaultSkipMergeResolution
+	// FaultSkipSpikePriority disables the spike-priority suppression rule
+	// (DESIGN.md §3.1): straight merge patterns whose blacks are the
+	// whites of an executing spike hop anyway, re-introducing the
+	// oscillation the rule exists to prevent.
+	FaultSkipSpikePriority
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSkipMergeResolution:
+		return "skip-merge-resolution"
+	case FaultSkipSpikePriority:
+		return "skip-spike-priority"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// InjectFault arms a deliberate defect for all subsequent Step calls.
+// Conformance self-tests only; see the Fault doc.
+func (a *Algorithm) InjectFault(f Fault) { a.fault = f }

@@ -167,6 +167,13 @@ func PlanMerges(ch *chain.Chain, maxLen int) (*MergePlan, error) {
 // the plan's maps and slices (cleared first). The plan's contents are valid
 // until the next Plan call.
 func (plan *MergePlan) Plan(ch *chain.Chain, maxLen int) error {
+	return plan.plan(ch, maxLen, true)
+}
+
+// plan is Plan with the spike-priority rule switchable: the algorithm's
+// fault-injection self-tests (FaultSkipSpikePriority) disable it to prove
+// the conformance oracle notices.
+func (plan *MergePlan) plan(ch *chain.Chain, maxLen int, spikePriority bool) error {
 	plan.edgeRuns = ch.AppendEdgeRuns(plan.edgeRuns[:0])
 	plan.Patterns = appendMergePatterns(plan.Patterns[:0], ch, maxLen, plan.edgeRuns)
 	plan.Executing = plan.Executing[:0]
@@ -187,7 +194,7 @@ func (plan *MergePlan) Plan(ch *chain.Chain, maxLen int) error {
 		for j := 0; j < pat.Len; j++ {
 			plan.participants.Set(ch.At(pat.FirstBlack+j), struct{}{})
 		}
-		if pat.Len > 1 && plan.spikeWhites.Len() > 0 {
+		if pat.Len > 1 && spikePriority && plan.spikeWhites.Len() > 0 {
 			tainted := false
 			for j := 0; j < pat.Len; j++ {
 				if plan.spikeWhites.Has(ch.At(pat.FirstBlack + j)) {

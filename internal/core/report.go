@@ -41,8 +41,12 @@ type Anomalies struct {
 	// ShortAhead counts normal-mode runs at a corner with fewer than two
 	// aligned robots ahead.
 	ShortAhead int
-	// HopConflicts counts rounds where two runs requested hops on the same
-	// robot and both were suppressed.
+	// HopConflicts counts suppressed hop conflicts: two runs requesting
+	// hops on the same robot, a runner colliding with a merge or start
+	// hop, or ring-adjacent back-to-back runs whose reshapement hops
+	// would stretch their shared edge beyond a chain edge (runs can end
+	// up back to back when merge splices teleport their hosts along
+	// survivor links; found by the conformance campaign, DESIGN.md §7).
 	HopConflicts int
 	// StuckRuns counts runs terminated by the TermStuck safeguard.
 	StuckRuns int

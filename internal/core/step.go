@@ -75,6 +75,10 @@ type Algorithm struct {
 	plan    *MergePlan
 	scratch stepScratch
 
+	// fault is the armed self-test defect (FaultNone in production); see
+	// fault.go.
+	fault Fault
+
 	// anomalies accumulates defensive-path counts for the current round;
 	// Step moves them into the report.
 	anomalies Anomalies
@@ -263,7 +267,7 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	// ---- Look & compute -------------------------------------------------
 	// 1. Merge patterns (Fig 15 step 1). Participants suspend run
 	//    operations; blacks hop towards the whites.
-	if err := a.plan.Plan(a.ch, a.cfg.MaxMergeLen); err != nil {
+	if err := a.plan.plan(a.ch, a.cfg.MaxMergeLen, a.fault != FaultSkipSpikePriority); err != nil {
 		return rep, err
 	}
 	plan := a.plan
@@ -336,8 +340,12 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		r := d.run.Host
 		if sc.hops.Has(r) || sc.runnerHop.Has(r) {
 			a.anomalies.HopConflicts++
-			if sc.runnerHop.Has(r) {
+			if sc.runnerHop.Has(r) && sc.hops.Has(r) {
+				// Two runner hops on one robot: both are suppressed, so
+				// the hop counted when the first one was accepted is
+				// retracted too.
 				sc.hops.Delete(r)
+				rep.RunnerHops--
 			}
 			continue
 		}
@@ -353,6 +361,59 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		}
 		sc.hops.Set(r, h)
 		rep.StartHops++
+	}
+	// Edge-conflict suppression: two runs can end up back to back on the
+	// two corners of one jog — merge splices teleport run hosts along
+	// survivor links, so opposite-direction runs may become ring
+	// neighbours without ever approaching face to face (where run passing
+	// would have handled them; found by the conformance campaign on
+	// doubled chains, DESIGN.md §7). Both then reshape away from each
+	// other and would stretch their shared edge beyond a chain edge.
+	// Every runner hop on such an edge is suppressed, like any other hop
+	// conflict; the runs advance without reshaping this round.
+	//
+	// The scan runs to a fixpoint because a suppression changes the edges
+	// around the now-static robot: with three or more adjacent runners, a
+	// pair validated with both hops applied must be re-validated once a
+	// later suppression stops one of them. Termination: every pass that
+	// reports a change deletes at least one hop. At the fixpoint all
+	// edges are legal — an edge with a live runner hop was verified
+	// against the neighbour's effective hop; a lone reshapement hop next
+	// to static neighbours lands on the diagonal between them (legal by
+	// the operation's geometry); merge-pattern edges are legal by pattern
+	// geometry and their neighbours are participants (no runner or start
+	// hops); and adjacent corner starts are geometrically impossible.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range sc.hops.Keys() {
+			if !sc.runnerHop.Has(r) {
+				continue
+			}
+			h, ok := sc.hops.Get(r)
+			if !ok {
+				continue // already suppressed
+			}
+			for _, dir := range [2]int{+1, -1} {
+				nb := a.ch.Next(r)
+				if dir < 0 {
+					nb = a.ch.Prev(r)
+				}
+				nh, _ := sc.hops.Get(nb) // zero when static or suppressed
+				after := a.ch.PosOf(nb).Add(nh).Sub(a.ch.PosOf(r).Add(h))
+				if after.IsChainEdge() {
+					continue
+				}
+				sc.hops.Delete(r)
+				rep.RunnerHops--
+				if sc.runnerHop.Has(nb) && sc.hops.Has(nb) {
+					sc.hops.Delete(nb)
+					rep.RunnerHops--
+				}
+				a.anomalies.HopConflicts++
+				changed = true
+				break
+			}
+		}
 	}
 	moved := sc.moved[:0]
 	for _, r := range sc.hops.Keys() {
@@ -377,7 +438,10 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	// Co-location requires a mover, so resolving around the robots that
 	// hopped this round finds every merge in O(#moved + #merges) without
 	// rescanning the ring.
-	events := a.ch.AppendResolveMergesAround(sc.mergeEvents[:0], moved)
+	events := sc.mergeEvents[:0]
+	if a.fault != FaultSkipMergeResolution {
+		events = a.ch.AppendResolveMergesAround(events, moved)
+	}
 	sc.mergeEvents = events
 	rep.MergeEvents = events
 	sc.survivorOf.Reset(nh)

@@ -1,0 +1,176 @@
+package generate
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridgather/internal/grid"
+)
+
+// TestFromStepsStrict pins the strict decoder's rejection set: the exact
+// invalid-input classes the corpus loader must never repair silently.
+func TestFromStepsStrict(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []grid.Vec
+	}{
+		{"empty", nil},
+		{"odd step count", []grid.Vec{grid.East, grid.West, grid.North}},
+		{"non-closing walk", []grid.Vec{grid.East, grid.East, grid.West, grid.North}},
+		{"non-unit step", []grid.Vec{grid.V(2, 0), grid.V(-2, 0)}},
+		{"zero step", []grid.Vec{grid.Zero, grid.Zero}},
+	}
+	for _, c := range cases {
+		if _, err := FromSteps(c.steps); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%s: got %v, want ErrBadParam", c.name, err)
+		}
+	}
+	ch, err := FromSteps([]grid.Vec{grid.East, grid.North, grid.West, grid.South})
+	if err != nil {
+		t.Fatalf("unit square rejected: %v", err)
+	}
+	if ch.Len() != 4 {
+		t.Fatalf("unit square decoded to %d robots", ch.Len())
+	}
+}
+
+// TestFromBytesTotal: any non-empty input decodes to a valid chain; the
+// empty input is the only rejection.
+func TestFromBytesTotal(t *testing.T) {
+	if _, err := FromBytes(nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("empty input: got %v, want ErrBadParam", err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		ch, err := FromBytes(data)
+		if err != nil {
+			return false
+		}
+		return ch.CheckEdges() == nil && ch.CheckNoZeroEdges() == nil && ch.Len()%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial shapes the random sampler is unlikely to hit.
+	for _, data := range [][]byte{
+		{0},          // one step: parity append + balance flip
+		{1},          // one vertical step
+		{0, 1},       // one of each axis, both odd
+		{0, 0, 0, 0}, // all East: full rebalance
+		{3, 3, 3},    // all South, odd count
+		bytes.Repeat([]byte{2}, MaxFromBytesSteps+100), // truncation path
+	} {
+		ch, err := FromBytes(data)
+		if err != nil {
+			t.Errorf("FromBytes(%v...): %v", data[:min(4, len(data))], err)
+			continue
+		}
+		if ch.Len() > MaxFromBytesSteps+2 {
+			t.Errorf("decoder ignored the size cap: n=%d", ch.Len())
+		}
+	}
+}
+
+// TestFromBytesRoundTrip: encoding any generator family's chain and
+// decoding it again reproduces the chain translated to the origin — the
+// property that lets committed corpus seeds carry real structure.
+func TestFromBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, name := range Names() {
+		for _, size := range []int{12, 48, 200} {
+			c, err := Named(name, size, rng)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, size, err)
+			}
+			got, err := FromBytes(ToBytes(c))
+			if err != nil {
+				t.Fatalf("%s/%d: round trip failed: %v", name, size, err)
+			}
+			if got.Len() != c.Len() {
+				t.Fatalf("%s/%d: round trip length %d != %d", name, size, got.Len(), c.Len())
+			}
+			shift := c.Pos(0) // decoded chains start at the origin
+			for i := 0; i < c.Len(); i++ {
+				if got.Pos(i).Add(shift) != c.Pos(i) {
+					t.Fatalf("%s/%d: position %d diverged after round trip", name, size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRepairIdentityOnClosedWalks: the repair pass must not touch a walk
+// that already closes (otherwise corpus seeds would mutate on load).
+func TestRepairIdentityOnClosedWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		c, err := RandomClosedWalk(4+2*rng.Intn(60), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := ToBytes(c)
+		var steps []grid.Vec
+		for _, b := range data {
+			steps = append(steps, stepByte(b))
+		}
+		repaired := repairClosedWalk(append([]grid.Vec(nil), steps...))
+		if len(repaired) != len(steps) {
+			t.Fatalf("repair changed the length of a closed walk: %d -> %d", len(steps), len(repaired))
+		}
+		for i := range steps {
+			if repaired[i] != steps[i] {
+				t.Fatalf("repair flipped step %d of a closed walk", i)
+			}
+		}
+	}
+}
+
+// TestErrBadParamRejections sweeps every generator family's invalid
+// parameter space and asserts the sentinel error, so callers can rely on
+// errors.Is across the whole package.
+func TestErrBadParamRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"rectangle zero width", func() error { _, err := Rectangle(0, 3); return err }},
+		{"rectangle zero height", func() error { _, err := Rectangle(3, 0); return err }},
+		{"histogram empty", func() error { _, err := Histogram(nil); return err }},
+		{"histogram zero column", func() error { _, err := Histogram([]int{1, 0, 2}); return err }},
+		{"random histogram no columns", func() error { _, err := RandomHistogram(0, 3, rng); return err }},
+		{"random histogram flat", func() error { _, err := RandomHistogram(3, 0, rng); return err }},
+		{"staircase no steps", func() error { _, err := Staircase(0, 2); return err }},
+		{"staircase no run", func() error { _, err := Staircase(2, 0); return err }},
+		{"comb no teeth", func() error { _, err := Comb(0, 2, 1); return err }},
+		{"comb flat teeth", func() error { _, err := Comb(2, 0, 1); return err }},
+		{"comb no gap", func() error { _, err := Comb(2, 2, 0); return err }},
+		{"spiral unwound", func() error { _, err := Spiral(0); return err }},
+		{"polyomino no cells", func() error { _, err := RandomPolyomino(0, rng); return err }},
+		{"walk odd", func() error { _, err := RandomClosedWalk(7, rng); return err }},
+		{"walk too short", func() error { _, err := RandomClosedWalk(2, rng); return err }},
+		{"doubled too short", func() error { _, err := DoubledPath(1, rng); return err }},
+		{"lshape no arm", func() error { _, err := LShape(0, 2, 1); return err }},
+		{"lshape no thickness", func() error { _, err := LShape(2, 2, 0); return err }},
+		{"serpentine no rows", func() error { _, err := Serpentine(0, 5); return err }},
+		{"serpentine short rows", func() error { _, err := Serpentine(2, 1); return err }},
+		{"inflate zero factor", func() error { _, err := Inflate(NewCellSet(Cell{0, 0}), 0); return err }},
+		{"mergeless no cells", func() error { _, err := MergelessPolyomino(0, 3, rng); return err }},
+		{"mergeless no segmin", func() error { _, err := MergelessPolyomino(3, 0, rng); return err }},
+		{"trace empty set", func() error { _, err := TraceBoundary(NewCellSet()); return err }},
+		{"named unknown", func() error { _, err := Named("nonsense", 64, rng); return err }},
+		{"fromsteps odd", func() error { _, err := FromSteps([]grid.Vec{grid.East, grid.West, grid.North}); return err }},
+		{"frombytes empty", func() error { _, err := FromBytes(nil); return err }},
+	}
+	for _, c := range cases {
+		if err := c.call(); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%s: got %v, want ErrBadParam", c.name, err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package oracle
+
+import "gridgather/internal/core"
+
+// The fuzzing configuration space: the L and V neighbourhood of the
+// paper's parameters. One selector byte indexes a point, so fuzz inputs
+// and stress-harness task indices pick configurations the same way.
+//
+// Deliberately excluded, because the campaign asserts liveness (gathering
+// within the Theorem 1 cap) and these choices break it by design rather
+// than by bug:
+//
+//   - Merge detection lengths below the V-1 maximum. E11 documents k = 2
+//     live-locking; the stress harness sharpened that to: ANY MaxMergeLen
+//     below V-1 live-locks on square rings whose endgame side exceeds it
+//     (e.g. V=11, ML=8 on a 21x21 ring parks 36 robots in a 9x9 square
+//     forever, engine and model in perfect agreement). See EXPERIMENTS.md
+//     §Stress.
+//   - The run-disabling ablations: merge-only gathering livelocks on
+//     mergeless shapes, so arbitrary fuzz chains would produce false
+//     liveness failures. Those ablations are covered on curated workloads
+//     in the test suite instead.
+//
+// Every included configuration empirically gathers all families well
+// inside the Theorem 1 cap (TestConfigSpaceLiveness), so a liveness
+// failure in the fuzz campaign is a real finding.
+var (
+	fuzzViews   = []int{7, 9, 11, 13, 15}
+	fuzzPeriods = []int{5, 9, 13, 17, 26}
+)
+
+// NumConfigs is the size of the fuzzing configuration space.
+func NumConfigs() int { return len(fuzzViews) * len(fuzzPeriods) }
+
+// ConfigFromByte maps a selector byte onto the fuzzing configuration
+// space (wrapping modulo NumConfigs): viewing path length V around the
+// paper's 11, run period L around the paper's 13, merge detection length
+// at its V-1 maximum (see above for why smaller values are excluded).
+func ConfigFromByte(sel uint8) core.Config {
+	s := int(sel) % NumConfigs()
+	v := fuzzViews[s%len(fuzzViews)]
+	s /= len(fuzzViews)
+	l := fuzzPeriods[s%len(fuzzPeriods)]
+	return core.Config{ViewingPathLength: v, RunPeriod: l, MaxMergeLen: v - 1}
+}

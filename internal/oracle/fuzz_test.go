@@ -1,0 +1,118 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/generate"
+	"gridgather/internal/oracle"
+)
+
+// fuzzMaxSteps caps per-input chain size in the native fuzz targets: the
+// mutator gets more coverage per CPU second from many small chains than
+// from a few giant ones. The committed corpus and TestCheckLargeChains
+// cover the big end; cmd/gatherfuzz covers volume.
+const fuzzMaxSteps = 512
+
+// FuzzEngineVsOracle decodes arbitrary bytes into a valid closed chain
+// (generate.FromBytes), picks a configuration from the ablation space,
+// and runs the fast engine against the naive model in lockstep. On a
+// divergence the failing chain is shrunk and printed as a ready-to-paste
+// seed.
+func FuzzEngineVsOracle(f *testing.F) {
+	rng := rand.New(rand.NewSource(61))
+	for _, name := range generate.Names() {
+		if ch, err := generate.Named(name, 16, rng); err == nil {
+			f.Add(generate.ToBytes(ch), uint8(0))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, cfgSel uint8) {
+		if len(data) > fuzzMaxSteps {
+			data = data[:fuzzMaxSteps]
+		}
+		ch, err := generate.FromBytes(data)
+		if err != nil {
+			t.Skip() // only the empty input
+		}
+		cfg := oracle.ConfigFromByte(cfgSel)
+		if _, err := oracle.Check(cfg, ch, 0); err != nil {
+			minimal := oracle.Shrink(ch.Positions(), func(c *chain.Chain) bool {
+				_, serr := oracle.Check(cfg, c, 0)
+				return serr != nil
+			})
+			t.Fatalf("engine/model divergence (cfg %+v): %v\nshrunk witness:\n%s",
+				cfg, err, oracle.FormatSeed(minimal))
+		}
+	})
+}
+
+// FuzzGenerateFamilies drives the generator stack with arbitrary
+// (family, size, seed) triples: every accepted input must produce a valid
+// initial configuration, and small outputs are additionally run through
+// the lockstep check so generator structure feeds the conformance search.
+func FuzzGenerateFamilies(f *testing.F) {
+	for i := range generate.Names() {
+		f.Add(uint8(i), uint16(24), int64(7))
+	}
+	names := generate.Names()
+	f.Fuzz(func(t *testing.T, family uint8, size uint16, seed int64) {
+		name := names[int(family)%len(names)]
+		n := int(size)%fuzzMaxSteps + 4
+		ch, err := generate.Named(name, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("%s/%d rejected valid parameters: %v", name, n, err)
+		}
+		if err := ch.CheckEdges(); err != nil {
+			t.Fatalf("%s/%d: %v", name, n, err)
+		}
+		if err := ch.CheckNoZeroEdges(); err != nil {
+			t.Fatalf("%s/%d: %v", name, n, err)
+		}
+		if ch.Len()%2 != 0 {
+			t.Fatalf("%s/%d: odd chain length %d", name, n, ch.Len())
+		}
+		if ch.Len() <= 128 {
+			if _, err := oracle.Check(core.DefaultConfig(), ch, 0); err != nil {
+				t.Fatalf("%s/%d (n=%d): %v\nseed:\n%s", name, n, ch.Len(), err, oracle.FormatSeed(ch.Positions()))
+			}
+		}
+	})
+}
+
+// TestInjectedBugShrinksSmall is the end-to-end acceptance self-test of
+// the conformance loop: inject a real engine bug (the skipped merge
+// resolution pass), let the fuzz-shaped search catch it, then shrink the
+// witness. The minimised chain must have at most 16 robots — small enough
+// to debug by hand.
+func TestInjectedBugShrinksSmall(t *testing.T) {
+	cfg := core.DefaultConfig()
+	failing := func(c *chain.Chain) bool {
+		_, err := oracle.CheckWithOptions(cfg, c, oracle.Options{Fault: core.FaultSkipMergeResolution})
+		return err != nil
+	}
+	rng := rand.New(rand.NewSource(62))
+	caught := 0
+	for trial := 0; trial < 20; trial++ {
+		ch, err := generate.RandomClosedWalk(40+2*rng.Intn(60), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !failing(ch) {
+			continue
+		}
+		caught++
+		minimal := oracle.Shrink(ch.Positions(), failing)
+		if len(minimal) > 16 {
+			t.Fatalf("trial %d: shrunk witness still has %d robots:\n%s",
+				trial, len(minimal), oracle.FormatSeed(minimal))
+		}
+		if !failing(chain.MustNew(minimal)) {
+			t.Fatalf("trial %d: shrunk witness no longer fails", trial)
+		}
+	}
+	if caught < 5 {
+		t.Fatalf("skipped merge resolution caught on only %d/20 chains — the bug detector is too weak", caught)
+	}
+}

@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"fmt"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/grid"
+)
+
+// RoundState is what one invariant sees after a round: the engine's chain,
+// the round's report, and the cross-round context the battery maintains
+// (previous bounding box, merge recency, the start configuration's size).
+type RoundState struct {
+	Chain  *chain.Chain
+	Report core.RoundReport
+	Cfg    core.Config
+
+	// InitialLen is the robot count of the start configuration.
+	InitialLen int
+	// PrevBounds is the bounding box before this round; Empty on round 0.
+	PrevBounds grid.Box
+	// LastMergeRound is the most recent round with a merge before this
+	// one, -1 if none has happened yet.
+	LastMergeRound int
+}
+
+// Invariant is one named, declarative check of the paper's structure. A
+// non-nil error is a violation; the battery attributes it to the round.
+type Invariant struct {
+	Name  string
+	Check func(*RoundState) error
+}
+
+// Battery returns the standard invariant set, in checking order:
+//
+//	ring-integrity        the chain is one closed, consistently linked ring
+//	chain-edges           every edge is an axis unit or zero (safety)
+//	no-zero-edges         no co-located chain neighbours survive resolution
+//	bbox-monotone         the bounding box never grows (all moves point inward)
+//	lemma1-window         every run-start window has a merge or a good pair
+//	theorem1-round-cap    gathering finishes within (2L+1)*n rounds
+//
+// The battery is declarative so callers can extend or subset it; Check
+// runs it as given.
+func Battery() []Invariant {
+	return []Invariant{
+		{Name: "ring-integrity", Check: checkRingIntegrity},
+		{Name: "chain-edges", Check: checkChainEdges},
+		{Name: "no-zero-edges", Check: checkNoZeroEdges},
+		{Name: "bbox-monotone", Check: checkBoundsMonotone},
+		{Name: "lemma1-window", Check: checkLemma1Window},
+		{Name: "theorem1-round-cap", Check: checkTheorem1Cap},
+	}
+}
+
+// checkRingIntegrity verifies the linked ring against the index view: the
+// successor/predecessor links are mutual, walking Next from the head
+// visits exactly Len live robots and returns to the start, and the cyclic
+// index accessors agree with the walk.
+func checkRingIntegrity(s *RoundState) error {
+	ch := s.Chain
+	n := ch.Len()
+	if n == 0 {
+		return fmt.Errorf("chain has no robots")
+	}
+	hs := ch.Handles()
+	if len(hs) != n {
+		return fmt.Errorf("Handles() returned %d entries for Len() %d", len(hs), n)
+	}
+	for i, h := range hs {
+		if !ch.Contains(h) {
+			return fmt.Errorf("ring lists dead handle %d at index %d", h, i)
+		}
+		next := hs[(i+1)%n]
+		if got := ch.Next(h); got != next {
+			return fmt.Errorf("Next(%d) = %d, ring order says %d", h, got, next)
+		}
+		if got := ch.Prev(next); got != h {
+			return fmt.Errorf("Prev(%d) = %d, ring order says %d", next, got, h)
+		}
+		if got := ch.IndexOf(h); got != i {
+			return fmt.Errorf("IndexOf(%d) = %d, ring order says %d", h, got, i)
+		}
+		if got := ch.At(i); got != h {
+			return fmt.Errorf("At(%d) = %d, ring order says %d", i, got, h)
+		}
+	}
+	return nil
+}
+
+func checkChainEdges(s *RoundState) error { return s.Chain.CheckEdges() }
+
+func checkNoZeroEdges(s *RoundState) error { return s.Chain.CheckNoZeroEdges() }
+
+// checkBoundsMonotone asserts the geometric heart of the progress
+// argument: every movement rule (merge hops, reshapement hops, corner
+// cuts) points inward, so the bounding box can only shrink.
+func checkBoundsMonotone(s *RoundState) error {
+	if s.PrevBounds.Empty() {
+		return nil
+	}
+	cur := s.Chain.Bounds()
+	prev := s.PrevBounds
+	if cur.Min.X < prev.Min.X || cur.Min.Y < prev.Min.Y ||
+		cur.Max.X > prev.Max.X || cur.Max.Y > prev.Max.Y {
+		return fmt.Errorf("bounding box grew: %v -> %v", prev, cur)
+	}
+	return nil
+}
+
+// checkLemma1Window is Lemma 1 as a per-window assertion: at every
+// run-start round on a large enough, ungathered chain, either a merge
+// happened within the last L rounds or a good pair started this round.
+func checkLemma1Window(s *RoundState) error {
+	rep := s.Report
+	if s.Cfg.DisableRunStarts || s.Cfg.SequentialRuns {
+		return nil // the ablations deliberately break the lemma's premise
+	}
+	lenBefore := rep.ChainLen + rep.Merges()
+	if rep.Round%s.Cfg.RunPeriod != 0 || lenBefore < core.MinChainForRuns || rep.Gathered {
+		return nil
+	}
+	mergedNow := rep.Merges() > 0
+	mergeFree := !mergedNow && (s.LastMergeRound == -1 || rep.Round-s.LastMergeRound >= s.Cfg.RunPeriod)
+	if !mergeFree {
+		return nil
+	}
+	for _, st := range rep.Starts {
+		if st.Pair >= 0 && st.Good {
+			return nil
+		}
+	}
+	return fmt.Errorf("run-start round %d: no merge in the last %d rounds and no good pair started",
+		rep.Round, s.Cfg.RunPeriod)
+}
+
+// checkTheorem1Cap operationalises Theorem 1: gathering must complete
+// within (2L+1)*n rounds of the start configuration's n. Checked at the
+// gathering round (liveness up to that point is Check's watchdog).
+func checkTheorem1Cap(s *RoundState) error {
+	if !s.Report.Gathered {
+		return nil
+	}
+	bound := Theorem1Cap(s.Cfg, s.InitialLen)
+	rounds := s.Report.Round + 1
+	if rounds > bound {
+		return fmt.Errorf("gathered after %d rounds, Theorem 1 caps n=%d at %d", rounds, s.InitialLen, bound)
+	}
+	return nil
+}
+
+// Theorem1Cap returns the paper's round bound for a start configuration
+// of n robots: (2L+1)*n, i.e. 2nL + n.
+func Theorem1Cap(cfg core.Config, n int) int {
+	l := cfg.RunPeriod
+	if l <= 0 {
+		l = core.DefaultRunPeriod
+	}
+	return (2*l + 1) * n
+}

@@ -1,0 +1,40 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/core"
+	"gridgather/internal/generate"
+	"gridgather/internal/oracle"
+)
+
+// TestCheckLargeChains covers the size ceiling of the fuzz campaign once
+// per family class: the model is O(n^2)-flavoured by design, so the large
+// cases run here rather than in the per-commit smoke loops.
+func TestCheckLargeChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large lockstep checks skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(41))
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"walk", 1024},
+		{"spiral", 600},
+		{"rectangle", 512},
+		{"doubled", 512},
+	}
+	for _, c := range cases {
+		ch, err := generate.Named(c.name, c.size, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := oracle.Check(core.DefaultConfig(), ch, 0)
+		if err != nil {
+			t.Fatalf("%s/%d (n=%d): %v", c.name, c.size, ch.Len(), err)
+		}
+		t.Logf("%s n=%d: %d rounds, %d merges", c.name, ch.Len(), res.Rounds, res.TotalMerges)
+	}
+}

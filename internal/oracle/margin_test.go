@@ -1,0 +1,49 @@
+package oracle_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridgather/internal/generate"
+	"gridgather/internal/oracle"
+)
+
+// TestConfigSpaceLiveness sweeps the whole fuzzing configuration space
+// over every generator family and asserts gathering succeeds — the
+// property that makes a liveness failure in the fuzz campaign a real
+// finding rather than a weak-parameter artefact (see configspace.go for
+// what is excluded and why). It doubles as a margin probe: the worst
+// observed rounds/cap ratio is logged, and it sits far below 1, so the
+// Theorem 1 cap used as the lockstep watchdog has an order of magnitude
+// of slack.
+func TestConfigSpaceLiveness(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	worst := 0.0
+	var worstDesc string
+	for sel := 0; sel < oracle.NumConfigs(); sel++ {
+		cfg := oracle.ConfigFromByte(uint8(sel))
+		for _, name := range generate.Names() {
+			for _, size := range []int{16, 64} {
+				ch, err := generate.Named(name, size, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cap := oracle.Theorem1Cap(cfg, ch.Len())
+				res, err := oracle.Check(cfg, ch, 0)
+				if err != nil {
+					t.Fatalf("sel=%d %s/%d: %v", sel, name, size, err)
+				}
+				ratio := float64(res.Rounds) / float64(cap)
+				if ratio > worst {
+					worst = ratio
+					worstDesc = fmt.Sprintf("sel=%d cfg=%+v %s n=%d rounds=%d cap=%d", sel, cfg, name, ch.Len(), res.Rounds, cap)
+				}
+			}
+		}
+	}
+	if worst >= 0.5 {
+		t.Errorf("Theorem 1 margin eroded: worst rounds/cap ratio %.3f (%s)", worst, worstDesc)
+	}
+	t.Logf("worst rounds/cap ratio: %.3f (%s)", worst, worstDesc)
+}

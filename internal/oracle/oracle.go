@@ -1,0 +1,284 @@
+package oracle
+
+import (
+	"fmt"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/grid"
+)
+
+// Divergence is a disagreement between the fast engine and the naive
+// model, or an invariant violation, pinned to the round it happened in.
+type Divergence struct {
+	Round int
+	// Field names what disagreed (e.g. "positions", "run-registry",
+	// "report.ChainLen") or the violated invariant ("invariant:bbox-monotone").
+	Field  string
+	Engine string
+	Model  string
+}
+
+// Error implements error.
+func (d *Divergence) Error() string {
+	if d.Model == "" {
+		return fmt.Sprintf("oracle: round %d: %s: %s", d.Round, d.Field, d.Engine)
+	}
+	return fmt.Sprintf("oracle: round %d: %s diverged:\n  engine: %s\n  model:  %s",
+		d.Round, d.Field, d.Engine, d.Model)
+}
+
+// Options configures CheckWithOptions.
+type Options struct {
+	// MaxRounds caps the lockstep execution. Zero selects the Theorem 1
+	// bound (2L+1)*n for the standard pipeline, or a generous watchdog for
+	// the run-disabling ablations the theorem does not speak about.
+	MaxRounds int
+	// Fault arms a deliberate engine defect (conformance self-tests).
+	Fault core.Fault
+	// Invariants is the battery to run on the engine's chain after every
+	// round; nil selects Battery(). An empty non-nil slice disables it.
+	Invariants []Invariant
+}
+
+// Result summarises a successful conformance check.
+type Result struct {
+	Rounds      int
+	InitialLen  int
+	FinalLen    int
+	TotalMerges int
+}
+
+// Check steps the fast engine (internal/core on the SoA chain) and the
+// naive model in lockstep from the same start configuration, comparing
+// positions, merges, run registry, round reports and termination after
+// every round, and running the invariant battery on the engine's chain.
+// The seed chain is not modified. It returns the first divergence or
+// invariant violation as a *Divergence error.
+func Check(cfg core.Config, seed *chain.Chain, maxRounds int) (Result, error) {
+	return CheckWithOptions(cfg, seed, Options{MaxRounds: maxRounds})
+}
+
+// CheckWithOptions is Check with fault injection and a configurable
+// battery.
+func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result, error) {
+	positions := seed.Positions()
+	res := Result{InitialLen: len(positions)}
+	if seed.NumHandles() != seed.Len() {
+		// A spliced chain has dead handles; the model would renumber its
+		// robots and every comparison would be vacuously wrong.
+		return res, fmt.Errorf("oracle: seed must be a start configuration (chain has %d dead handles)",
+			seed.NumHandles()-seed.Len())
+	}
+
+	alg, err := core.New(seed.Clone(), cfg)
+	if err != nil {
+		return res, err
+	}
+	alg.InjectFault(opts.Fault)
+	model, err := NewModel(positions, cfg)
+	if err != nil {
+		return res, err
+	}
+
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		if cfg.DisableRunStarts || cfg.SequentialRuns {
+			// The theorem assumes the full pipeline; the ablations get the
+			// simulator's generous liveness watchdog instead.
+			maxRounds = 60*len(positions) + 400
+		} else {
+			maxRounds = Theorem1Cap(alg.Config(), len(positions))
+		}
+	}
+	battery := opts.Invariants
+	if battery == nil {
+		battery = Battery()
+	}
+	st := &RoundState{
+		Chain:          alg.Chain(),
+		Cfg:            alg.Config(), // post-Validate (MaxMergeLen clamped)
+		InitialLen:     len(positions),
+		LastMergeRound: -1,
+	}
+
+	for round := 0; ; round++ {
+		eg, mg := alg.Gathered(), model.Gathered()
+		if eg != mg {
+			return res, &Divergence{Round: round, Field: "gathered",
+				Engine: fmt.Sprintf("%v", eg), Model: fmt.Sprintf("%v", mg)}
+		}
+		if eg {
+			res.Rounds = round
+			res.FinalLen = alg.Chain().Len()
+			return res, nil
+		}
+		if round >= maxRounds {
+			return res, &Divergence{Round: round, Field: "liveness",
+				Engine: fmt.Sprintf("not gathered after %d rounds (n=%d, %d robots left)",
+					round, res.InitialLen, alg.Chain().Len())}
+		}
+
+		st.PrevBounds = alg.Chain().Bounds()
+		eRep, eErr := alg.Step()
+		mRep, mErr := model.Step()
+		if eErr != nil || mErr != nil {
+			if (eErr == nil) != (mErr == nil) {
+				return res, &Divergence{Round: round, Field: "step-error",
+					Engine: errString(eErr), Model: errString(mErr)}
+			}
+			// Both backends failed the same round: agreed, but still fatal.
+			return res, fmt.Errorf("oracle: both backends failed round %d: engine: %v; model: %v", round, eErr, mErr)
+		}
+		if d := compareReports(round, eRep, mRep); d != nil {
+			return res, d
+		}
+		if d := compareConfiguration(round, alg.Chain(), model); d != nil {
+			return res, d
+		}
+		if d := compareRegistries(round, alg, model); d != nil {
+			return res, d
+		}
+		res.TotalMerges += eRep.Merges()
+		st.Report = eRep
+		for _, inv := range battery {
+			if err := inv.Check(st); err != nil {
+				return res, &Divergence{Round: round,
+					Field:  "invariant:" + inv.Name,
+					Engine: err.Error()}
+			}
+		}
+		if eRep.Merges() > 0 {
+			st.LastMergeRound = round
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// compareReports checks every field of the two round reports, merge
+// events in execution order (both backends resolve seeded by the movers
+// in move order, so even the interleaving must agree).
+func compareReports(round int, e, m core.RoundReport) *Divergence {
+	d := func(field string, ev, mv any) *Divergence {
+		return &Divergence{Round: round, Field: "report." + field,
+			Engine: fmt.Sprintf("%+v", ev), Model: fmt.Sprintf("%+v", mv)}
+	}
+	switch {
+	case e.Round != m.Round:
+		return d("Round", e.Round, m.Round)
+	case e.ChainLen != m.ChainLen:
+		return d("ChainLen", e.ChainLen, m.ChainLen)
+	case e.Gathered != m.Gathered:
+		return d("Gathered", e.Gathered, m.Gathered)
+	case e.MergePatterns != m.MergePatterns:
+		return d("MergePatterns", e.MergePatterns, m.MergePatterns)
+	case e.MergeHops != m.MergeHops:
+		return d("MergeHops", e.MergeHops, m.MergeHops)
+	case e.RunnerHops != m.RunnerHops:
+		return d("RunnerHops", e.RunnerHops, m.RunnerHops)
+	case e.StartHops != m.StartHops:
+		return d("StartHops", e.StartHops, m.StartHops)
+	case e.ActiveRuns != m.ActiveRuns:
+		return d("ActiveRuns", e.ActiveRuns, m.ActiveRuns)
+	case e.Anomalies != m.Anomalies:
+		return d("Anomalies", e.Anomalies, m.Anomalies)
+	}
+	if len(e.Starts) != len(m.Starts) {
+		return d("Starts", e.Starts, m.Starts)
+	}
+	for i := range e.Starts {
+		if e.Starts[i] != m.Starts[i] {
+			return d(fmt.Sprintf("Starts[%d]", i), e.Starts[i], m.Starts[i])
+		}
+	}
+	if len(e.Ends) != len(m.Ends) {
+		return d("Ends", e.Ends, m.Ends)
+	}
+	for i := range e.Ends {
+		if e.Ends[i] != m.Ends[i] {
+			return d(fmt.Sprintf("Ends[%d]", i), e.Ends[i], m.Ends[i])
+		}
+	}
+	if len(e.MergeEvents) != len(m.MergeEvents) {
+		return d("MergeEvents", e.MergeEvents, m.MergeEvents)
+	}
+	for i := range e.MergeEvents {
+		if e.MergeEvents[i] != m.MergeEvents[i] {
+			return d(fmt.Sprintf("MergeEvents[%d]", i), e.MergeEvents[i], m.MergeEvents[i])
+		}
+	}
+	return nil
+}
+
+// compareConfiguration checks the full ring: same robots (by ID), in the
+// same chain order, at the same positions, with the same bounding box.
+func compareConfiguration(round int, ch *chain.Chain, m *Model) *Divergence {
+	ids := m.IDs()
+	pos := m.Positions()
+	hs := ch.Handles()
+	if len(hs) != len(ids) {
+		return &Divergence{Round: round, Field: "positions",
+			Engine: fmt.Sprintf("%d robots", len(hs)), Model: fmt.Sprintf("%d robots", len(ids))}
+	}
+	for i, h := range hs {
+		if int(h) != ids[i] || ch.PosOf(h) != pos[i] {
+			return &Divergence{Round: round, Field: fmt.Sprintf("positions[%d]", i),
+				Engine: fmt.Sprintf("robot %d at %v", int(h), ch.PosOf(h)),
+				Model:  fmt.Sprintf("robot %d at %v", ids[i], pos[i])}
+		}
+	}
+	if eb, mb := ch.Bounds(), m.Bounds(); eb != mb {
+		return &Divergence{Round: round, Field: "bounds",
+			Engine: fmt.Sprintf("%v", eb), Model: fmt.Sprintf("%v", mb)}
+	}
+	return nil
+}
+
+// compareRegistries checks the full run registry, run by run in creation
+// order: hosts, directions, modes, traverse counters, operation targets
+// and passing budgets must all agree.
+func compareRegistries(round int, alg *core.Algorithm, m *Model) *Divergence {
+	ers := alg.Runs()
+	mrs := m.RunStates()
+	if len(ers) != len(mrs) {
+		return &Divergence{Round: round, Field: "run-registry",
+			Engine: fmt.Sprintf("%d runs", len(ers)), Model: fmt.Sprintf("%d runs", len(mrs))}
+	}
+	for i, er := range ers {
+		if es := engineRunState(er); es != mrs[i] {
+			return &Divergence{Round: round, Field: fmt.Sprintf("run-registry[%d]", i),
+				Engine: fmt.Sprintf("%+v", es), Model: fmt.Sprintf("%+v", mrs[i])}
+		}
+	}
+	return nil
+}
+
+// GatherNaive runs the naive model alone to completion (or maxRounds) and
+// returns the rounds taken — the "record a fixture via the model" path of
+// the golden-trace suite and a convenient second opinion for tests.
+func GatherNaive(positions []grid.Vec, cfg core.Config, maxRounds int) (int, error) {
+	m, err := NewModel(positions, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 60*len(positions) + 400
+	}
+	for round := 0; ; round++ {
+		if m.Gathered() {
+			return round, nil
+		}
+		if round >= maxRounds {
+			return round, fmt.Errorf("oracle: model not gathered after %d rounds (n=%d)", round, len(positions))
+		}
+		if _, err := m.Step(); err != nil {
+			return round, err
+		}
+	}
+}

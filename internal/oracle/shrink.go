@@ -1,0 +1,161 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/generate"
+	"gridgather/internal/grid"
+)
+
+// Shrink minimises a failing closed chain while preserving the failure.
+// The chain is viewed as its edge walk; any pair of opposite steps (one
+// East with one West, one North with one South) can be deleted and the
+// walk still closes, so the shrinker never constructs an invalid chain.
+//
+// Strategy (DESIGN.md §7): first halve — drop half of each axis's
+// opposite pairs at once while the failure persists — then descend to
+// single-pair removals until no pair can be dropped. failing is the
+// predicate to preserve; it must be deterministic. The minimised
+// configuration is returned translated to start at the origin; if nothing
+// can be removed the input comes back unchanged (modulo translation).
+func Shrink(positions []grid.Vec, failing func(*chain.Chain) bool) []grid.Vec {
+	steps := stepsOf(positions)
+	fails := func(st []grid.Vec) bool {
+		if len(st) < 2 {
+			return false
+		}
+		ch, err := generate.FromSteps(st)
+		if err != nil {
+			return false
+		}
+		return failing(ch)
+	}
+
+	// Phase 1: halving bites.
+	for {
+		half := dropHalfPairs(steps)
+		if len(half) >= len(steps) || !fails(half) {
+			break
+		}
+		steps = half
+	}
+
+	// Phase 2: single opposite-pair removals to a fixpoint.
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(steps); i++ {
+			j := findOpposite(steps, i)
+			if j < 0 {
+				continue
+			}
+			cand := dropTwo(steps, i, j)
+			if fails(cand) {
+				steps = cand
+				again = true
+				break
+			}
+		}
+	}
+
+	ch, err := generate.FromSteps(steps)
+	if err != nil {
+		return positions // unreachable: pair removal preserves validity
+	}
+	return ch.Positions()
+}
+
+// stepsOf returns the edge walk of a closed configuration.
+func stepsOf(positions []grid.Vec) []grid.Vec {
+	n := len(positions)
+	steps := make([]grid.Vec, n)
+	for i := 0; i < n; i++ {
+		steps[i] = positions[(i+1)%n].Sub(positions[i])
+	}
+	return steps
+}
+
+// findOpposite returns the smallest index j != i with steps[j] opposite to
+// steps[i], or -1.
+func findOpposite(steps []grid.Vec, i int) int {
+	want := steps[i].Neg()
+	for j := range steps {
+		if j != i && steps[j] == want {
+			return j
+		}
+	}
+	return -1
+}
+
+// dropTwo removes the steps at indices i and j.
+func dropTwo(steps []grid.Vec, i, j int) []grid.Vec {
+	out := make([]grid.Vec, 0, len(steps)-2)
+	for k, s := range steps {
+		if k == i || k == j {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// dropHalfPairs removes half of each axis's opposite step pairs in one
+// bite: the first half of the East steps with the first half of the West
+// steps, likewise North/South. Returns the input unchanged when no pair
+// can be dropped.
+func dropHalfPairs(steps []grid.Vec) []grid.Vec {
+	var e, w, n, s []int
+	for i, st := range steps {
+		switch st {
+		case grid.East:
+			e = append(e, i)
+		case grid.West:
+			w = append(w, i)
+		case grid.North:
+			n = append(n, i)
+		case grid.South:
+			s = append(s, i)
+		}
+	}
+	hPairs := min(len(e), len(w)) / 2
+	vPairs := min(len(n), len(s)) / 2
+	if hPairs == 0 && vPairs == 0 {
+		return steps
+	}
+	drop := make(map[int]bool, 2*(hPairs+vPairs))
+	for i := 0; i < hPairs; i++ {
+		drop[e[i]], drop[w[i]] = true, true
+	}
+	for i := 0; i < vPairs; i++ {
+		drop[n[i]], drop[s[i]] = true, true
+	}
+	out := make([]grid.Vec, 0, len(steps)-len(drop))
+	for i, st := range steps {
+		if !drop[i] {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// FormatSeed renders a configuration as a ready-to-paste reproduction: the
+// fuzz-corpus byte string (the generate.FromBytes encoding) and the
+// positions as a Go literal. Fuzz failures and gatherfuzz divergences
+// print this so a failing chain moves into a regression test in one copy.
+func FormatSeed(positions []grid.Vec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  n=%d\n", len(positions))
+	if ch, err := chain.New(positions); err == nil {
+		fmt.Fprintf(&b, "  corpus: []byte(%q)\n", generate.ToBytes(ch))
+	}
+	b.WriteString("  positions: []grid.Vec{")
+	for i, p := range positions {
+		if i%8 == 0 {
+			b.WriteString("\n    ")
+		}
+		fmt.Fprintf(&b, "{%d, %d}, ", p.X, p.Y)
+	}
+	b.WriteString("\n  }\n")
+	return b.String()
+}

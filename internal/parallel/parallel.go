@@ -41,42 +41,77 @@ func Workers(n int) int {
 // A nil or empty task list returns an empty result slice.
 func Run[T any](workers int, tasks []Task[T]) ([]T, error) {
 	results := make([]T, len(tasks))
-	if len(tasks) == 0 {
-		return results, nil
+	errs := make([]error, len(tasks))
+	// ForEach owns the pool; Run adds the result slice on top. Each index
+	// is executed exactly once and writes only its own slots, so the
+	// collection is race-free, and firstError reproduces the
+	// lowest-indexed-error contract (ForEach's own return value is the
+	// same error, discarded in favour of the recorded slice).
+	_ = ForEach(workers, len(tasks), func(i int) error {
+		results[i], errs[i] = runTask(tasks[i], i)
+		return errs[i]
+	})
+	return results, firstError(errs)
+}
+
+// ForEach executes fn(0..n-1) on up to workers goroutines without
+// collecting results: the streaming variant of Run for sweeps whose task
+// count makes a result slice pointless (the conformance stress harness
+// fans millions of scenarios and aggregates into atomic counters). The
+// contract matches Run: deterministic tasks seeded from their own index,
+// fail-fast dispatch (no new tasks after a failure, in-flight tasks
+// finish), panics converted to errors, and the lowest-indexed error
+// returned.
+func ForEach(workers, n int, fn func(index int) error) error {
+	if n <= 0 {
+		return nil
 	}
 	workers = Workers(workers)
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > n {
+		workers = n
 	}
-
-	errs := make([]error, len(tasks))
+	guard := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
 	if workers == 1 {
-		// Degenerate pool: run inline, keeping stack traces trivial.
-		for i, t := range tasks {
-			results[i], errs[i] = runTask(t, i)
-			if errs[i] != nil {
-				break
+		for i := 0; i < n; i++ {
+			if err := guard(i); err != nil {
+				return err
 			}
 		}
-		return results, firstError(errs)
+		return nil
 	}
 
-	var failed atomic.Bool
-	next := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		mu     sync.Mutex
+		minIdx = -1
+		minErr error
+		failed atomic.Bool
+		next   = make(chan int)
+		wg     sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = runTask(tasks[i], i)
-				if errs[i] != nil {
+				if err := guard(i); err != nil {
+					mu.Lock()
+					if minIdx == -1 || i < minIdx {
+						minIdx, minErr = i, err
+					}
+					mu.Unlock()
 					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := range tasks {
+	for i := 0; i < n; i++ {
 		if failed.Load() {
 			break
 		}
@@ -84,7 +119,7 @@ func Run[T any](workers int, tasks []Task[T]) ([]T, error) {
 	}
 	close(next)
 	wg.Wait()
-	return results, firstError(errs)
+	return minErr
 }
 
 // runTask invokes one task, converting a panic into an error so a single

@@ -173,3 +173,64 @@ func TestRunParallelDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachVisitsAll: every index runs exactly once, for several worker
+// counts.
+func TestForEachVisitsAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var visited [257]atomic.Int32
+		err := ForEach(workers, len(visited), func(i int) error {
+			visited[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visited {
+			if got := visited[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachFailFast: after a failure no new tasks are dispatched, and
+// the lowest-indexed error is returned regardless of worker interleaving.
+func TestForEachFailFast(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(workers, 10_000, func(i int) error {
+			ran.Add(1)
+			if i == 5 || i == 17 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 5" {
+			t.Fatalf("workers=%d: err = %v, want lowest-indexed boom", workers, err)
+		}
+		if n := ran.Load(); n == 10_000 {
+			t.Fatalf("workers=%d: dispatch did not stop after the failure", workers)
+		}
+	}
+}
+
+// TestForEachPanic: a panicking task becomes an error, not a crash.
+func TestForEachPanic(t *testing.T) {
+	err := ForEach(4, 64, func(i int) error {
+		if i == 20 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+// TestForEachEmpty: zero tasks is a no-op.
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return fmt.Errorf("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"gridgather/internal/chain"
+	"gridgather/internal/core"
 	"gridgather/internal/generate"
+	"gridgather/internal/oracle"
 	"gridgather/internal/sim"
 )
 
@@ -56,6 +58,62 @@ func goldenWorkloads() []goldenWorkload {
 		{"histogram_seed7", func() (*chain.Chain, error) {
 			return generate.RandomHistogram(24, 15, rand.New(rand.NewSource(7)))
 		}},
+		// Sizes the original equivalence suite left uncovered, added with
+		// the conformance oracle (PR 4): the smallest ring that still
+		// starts runs, and a four-digit tangle. Their fixtures are
+		// additionally cross-checked against the naive model below
+		// (TestGoldenOracleVerified), so the recording engine itself is
+		// vouched for by a second implementation.
+		{"ring_8", func() (*chain.Chain, error) { return generate.Rectangle(3, 1) }},
+		{"walk_1024_seed13", func() (*chain.Chain, error) {
+			return generate.RandomClosedWalk(1024, rand.New(rand.NewSource(13)))
+		}},
+	}
+}
+
+// oracleVerified names the golden workloads whose recordings are gated by
+// the engine-vs-model lockstep, not just by fixture comparison.
+var oracleVerified = []string{"ring_8", "walk_1024_seed13"}
+
+// TestGoldenOracleVerified replays the oracle-verified workloads through
+// the naive model in lockstep with the engine: the fixture bytes pin the
+// engine's history, the model vouches that that history follows the FSYNC
+// round semantics, and the round counts of engine and model must agree
+// with the recorded Result.
+func TestGoldenOracleVerified(t *testing.T) {
+	byName := map[string]goldenWorkload{}
+	for _, w := range goldenWorkloads() {
+		byName[w.name] = w
+	}
+	for _, name := range oracleVerified {
+		w, ok := byName[name]
+		if !ok {
+			t.Fatalf("oracle-verified workload %s missing from goldenWorkloads", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			ch, err := w.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := oracle.Check(core.DefaultConfig(), ch, 0)
+			if err != nil {
+				t.Fatalf("engine/model divergence: %v", err)
+			}
+			modelRounds, err := oracle.GatherNaive(ch.Positions(), core.DefaultConfig(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if modelRounds != res.Rounds {
+				t.Fatalf("naive model gathered in %d rounds, lockstep says %d", modelRounds, res.Rounds)
+			}
+			simRes, err := sim.Gather(ch.Clone(), sim.Options{CheckInvariants: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if simRes.Rounds != res.Rounds {
+				t.Fatalf("sim engine gathered in %d rounds, oracle lockstep says %d", simRes.Rounds, res.Rounds)
+			}
+		})
 	}
 }
 

@@ -72,11 +72,22 @@ type Snapshot struct {
 // At builds the snapshot of the robot at index center with viewing path
 // length v. runs may be nil when run states are irrelevant.
 func At(ch *chain.Chain, center, v int, runs RunLocator) Snapshot {
+	return Over(ch.Handles(), ch.PosStore(), center, v, runs)
+}
+
+// Over builds a snapshot directly over a ring-order slice and a flat
+// per-handle position store, without a *chain.Chain behind them: the one
+// snapshot constructor, which At wraps for the engine's chain and which
+// alternate chain backends call directly — the conformance oracle's naive
+// model (internal/oracle) materialises its pointer ring into plain slices
+// each round and evaluates the same pure decision predicates the engine
+// uses, so engine and model cannot drift apart at the rule level.
+// order[i] is the handle at cyclic index i; pos is indexed by handle and
+// must cover every handle in order.
+func Over(order []chain.Handle, pos []grid.Vec, center, v int, runs RunLocator) Snapshot {
 	if runs == nil {
 		runs = EmptyRuns{}
 	}
-	order := ch.Handles()
-	pos := ch.PosStore()
 	n := len(order)
 	center = chain.WrapIndex(center, n)
 	return Snapshot{
