@@ -43,6 +43,7 @@ import (
 	"gridgather/internal/benchio"
 	"gridgather/internal/experiments"
 	"gridgather/internal/parallel"
+	"gridgather/internal/sched"
 )
 
 func main() { os.Exit(gatherbenchMain()) }
@@ -51,15 +52,16 @@ func main() { os.Exit(gatherbenchMain()) }
 // (-cpuprofile/-memprofile) flush on every path, including failures.
 func gatherbenchMain() int {
 	var (
-		which   = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13")
-		seed    = flag.Int64("seed", 1, "random seed")
-		trials  = flag.Int("trials", 5, "trials per randomized configuration")
-		sizes   = flag.String("sizes", "128,256,512,1024,2048", "comma-separated target sizes")
-		quick   = flag.Bool("quick", false, "small sizes and trials")
-		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
-		out     = flag.String("out", "", "output file (default stdout)")
-		workers = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS (results identical for any value)")
-		quiet   = flag.Bool("quiet", false, "suppress the timing summary on stderr")
+		which     = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13, E-sched")
+		seed      = flag.Int64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 5, "trials per randomized configuration")
+		sizes     = flag.String("sizes", "128,256,512,1024,2048", "comma-separated target sizes")
+		quick     = flag.Bool("quick", false, "small sizes and trials")
+		csv       = flag.Bool("csv", false, "emit CSV instead of markdown")
+		out       = flag.String("out", "", "output file (default stdout)")
+		workers   = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS (results identical for any value)")
+		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
+		schedFlag = flag.String("sched", "fsync", "activation scheduler the suite's round simulations run under: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]; E9's structural probe and E12's global-vision baselines are scheduler-free, and E-sched sweeps its own axis regardless")
 
 		benchOut     = flag.String("bench-out", "", "measure the pinned benchmark subset and write the JSON trajectory snapshot to this file (skips the experiment suite)")
 		benchAgainst = flag.String("bench-against", "", "compare a fresh measurement of the pinned subset against this committed snapshot; exit non-zero on staleness or >20% allocs/op regression")
@@ -107,7 +109,12 @@ func gatherbenchMain() int {
 		return 0
 	}
 
-	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
+	schedCfg, err := sched.Parse(*schedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatherbench:", err)
+		return 1
+	}
+	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Sched: schedCfg}
 	for _, tok := range strings.Split(*sizes, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err == nil && v > 0 {
@@ -196,17 +203,20 @@ func run(which string, params experiments.Params) ([]experiments.Outcome, error)
 		return experiments.All(params)
 	}
 	table := map[string]func(experiments.Params) (experiments.Outcome, error){
-		"E1":    experiments.E1Theorem1,
-		"E2":    experiments.E2E3Lemmas,
-		"E3":    experiments.E2E3Lemmas,
-		"E2/E3": experiments.E2E3Lemmas,
-		"E4":    experiments.E4RunHealth,
-		"E8":    experiments.E8Pipelining,
-		"E9":    experiments.E9MergelessStructure,
-		"E10":   experiments.E10AblationRunPeriod,
-		"E11":   experiments.E11AblationMergeLen,
-		"E12":   experiments.E12Baselines,
-		"E13":   experiments.E13AblationView,
+		"E1":      experiments.E1Theorem1,
+		"E2":      experiments.E2E3Lemmas,
+		"E3":      experiments.E2E3Lemmas,
+		"E2/E3":   experiments.E2E3Lemmas,
+		"E4":      experiments.E4RunHealth,
+		"E8":      experiments.E8Pipelining,
+		"E9":      experiments.E9MergelessStructure,
+		"E10":     experiments.E10AblationRunPeriod,
+		"E11":     experiments.E11AblationMergeLen,
+		"E12":     experiments.E12Baselines,
+		"E13":     experiments.E13AblationView,
+		"E-SCHED": experiments.ESched,
+		"ESCHED":  experiments.ESched,
+		"SCHED":   experiments.ESched,
 	}
 	f, ok := table[strings.ToUpper(which)]
 	if !ok {

@@ -10,11 +10,21 @@
 // divergence the harness shrinks the failing chain to a minimal witness
 // and prints a ready-to-paste seed, then exits non-zero.
 //
+// Scenarios additionally cross an activation scheduler (internal/sched)
+// into every cell: -sched mix (the default) draws from the same scheduler
+// space the native fuzz targets use, -sched fsync restores the pure
+// synchronous campaign, and any explicit config (e.g. -sched rr:3) pins
+// one model for a whole run. Under non-FSYNC schedulers liveness is not
+// asserted (Theorem 1 is FSYNC-only): scenarios that exhaust the scaled
+// watchdog without divergence count as DNF in the summary, not as
+// failures.
+//
 // Usage:
 //
-//	gatherfuzz                          # 100k scenarios, all families
+//	gatherfuzz                          # 100k scenarios, all families, mixed schedulers
 //	gatherfuzz -scenarios 1000000       # the million-chain campaign
 //	gatherfuzz -max-size 256 -seed 7    # smaller chains, different stream
+//	gatherfuzz -sched bounded:3         # one activation model for the whole run
 //	gatherfuzz -only 123456             # re-run one scenario index
 //
 // The summary on stdout is deterministic for a given flag set; timing and
@@ -36,6 +46,7 @@ import (
 	"gridgather/internal/generate"
 	"gridgather/internal/oracle"
 	"gridgather/internal/parallel"
+	"gridgather/internal/sched"
 )
 
 func main() { os.Exit(gatherfuzzMain()) }
@@ -48,6 +59,7 @@ func gatherfuzzMain() int {
 		maxSize   = flag.Int("max-size", 1024, "maximum target chain size (log-uniform between min and max)")
 		workers   = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS")
 		only      = flag.Int("only", -1, "run only this scenario index (reproduce a failure)")
+		schedFlag = flag.String("sched", "mix", "activation scheduler: mix (draw per scenario from the fuzzing space), or one config (fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S])")
 		progress  = flag.Duration("progress", 10*time.Second, "progress interval on stderr (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
 	)
@@ -56,9 +68,18 @@ func gatherfuzzMain() int {
 		fmt.Fprintln(os.Stderr, "gatherfuzz: need 4 <= min-size <= max-size")
 		return 2
 	}
+	var forced *sched.Config
+	if *schedFlag != "mix" {
+		cfg, err := sched.Parse(*schedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gatherfuzz:", err)
+			return 2
+		}
+		forced = &cfg
+	}
 
 	if *only >= 0 {
-		desc, err := runScenario(*seed, *only, *minSize, *maxSize)
+		desc, err := runScenario(*seed, *only, *minSize, *maxSize, forced)
 		fmt.Printf("scenario %d: %s\n", *only, desc)
 		if err != nil {
 			fmt.Println(err)
@@ -74,6 +95,7 @@ func gatherfuzzMain() int {
 		rounds      atomic.Int64
 		merges      atomic.Int64
 		maxN        atomic.Int64
+		dnf         atomic.Int64
 		familyCount = make([]atomic.Int64, len(scenarioFamilies()))
 	)
 	start := time.Now()
@@ -96,19 +118,22 @@ func gatherfuzzMain() int {
 	}
 
 	err := parallel.ForEach(*workers, *scenarios, func(i int) error {
-		sc := makeScenario(*seed, i, *minSize, *maxSize)
+		sc := makeScenario(*seed, i, *minSize, *maxSize, forced)
 		ch, err := sc.build()
 		if err != nil {
 			return fmt.Errorf("scenario %d (%s): generator failed: %w", i, sc.desc(), err)
 		}
-		res, err := oracle.Check(sc.cfg(), ch, 0)
+		res, err := oracle.CheckWithOptions(sc.cfg(), ch, oracle.Options{Sched: sc.schedCfg()})
 		if err != nil {
 			minimal := oracle.Shrink(ch.Positions(), func(c *chain.Chain) bool {
-				_, serr := oracle.Check(sc.cfg(), c, 0)
+				_, serr := oracle.CheckWithOptions(sc.cfg(), c, oracle.Options{Sched: sc.schedCfg()})
 				return serr != nil
 			})
-			return fmt.Errorf("scenario %d (%s): %w\nreproduce: gatherfuzz -seed %d -min-size %d -max-size %d -only %d\nshrunk witness:\n%s",
-				i, sc.desc(), err, *seed, *minSize, *maxSize, i, oracle.FormatSeed(minimal))
+			return fmt.Errorf("scenario %d (%s): %w\nreproduce: gatherfuzz -seed %d -min-size %d -max-size %d -sched %s -only %d\nshrunk witness:\n%s",
+				i, sc.desc(), err, *seed, *minSize, *maxSize, *schedFlag, i, oracle.FormatSeed(minimal))
+		}
+		if !res.Gathered {
+			dnf.Add(1)
 		}
 		done.Add(1)
 		robots.Add(int64(res.InitialLen))
@@ -131,9 +156,11 @@ func gatherfuzzMain() int {
 	}
 
 	elapsed := time.Since(start)
-	fmt.Printf("gatherfuzz: %d scenarios, %d families x %d configs, sizes %d..%d, seed %d\n",
-		*scenarios, len(scenarioFamilies()), oracle.NumConfigs(), *minSize, *maxSize, *seed)
+	fmt.Printf("gatherfuzz: %d scenarios, %d families x %d configs x sched %s, sizes %d..%d, seed %d\n",
+		*scenarios, len(scenarioFamilies()), oracle.NumConfigs(), schedSpaceDesc(forced), *minSize, *maxSize, *seed)
 	fmt.Printf("divergences: 0\n")
+	fmt.Printf("gathered: %d, DNF within the non-FSYNC watchdog: %d\n",
+		done.Load()-dnf.Load(), dnf.Load())
 	fmt.Printf("robots: %d total (largest chain %d), rounds: %d, merges: %d\n",
 		robots.Load(), maxN.Load(), rounds.Load(), merges.Load())
 	fmt.Printf("per family:")
@@ -154,24 +181,37 @@ func scenarioFamilies() []string {
 	return append(generate.Names(), "bytes")
 }
 
-// scenario is one fully derived (family, size, config, seed) cell.
+// schedSpaceDesc names the scheduler axis in the deterministic summary.
+func schedSpaceDesc(forced *sched.Config) string {
+	if forced != nil {
+		return forced.String()
+	}
+	return fmt.Sprintf("mix(%d)", oracle.NumScheds())
+}
+
+// scenario is one fully derived (family, size, config, scheduler, seed)
+// cell.
 type scenario struct {
-	family  int
-	size    int
-	cfgSel  int
-	rngSeed int64
+	family   int
+	size     int
+	cfgSel   int
+	schedSel int
+	forced   *sched.Config
+	rngSeed  int64
 }
 
 // makeScenario derives scenario i of the campaign. All randomness flows
 // from TaskSeed(base, 0, i): the campaign is a pure function of the base
-// seed, and any cell can be reproduced alone.
-func makeScenario(base int64, i, minSize, maxSize int) scenario {
+// seed (and the -sched override), and any cell can be reproduced alone.
+func makeScenario(base int64, i, minSize, maxSize int, forced *sched.Config) scenario {
 	rng := rand.New(rand.NewSource(parallel.TaskSeed(base, 0, i)))
 	families := scenarioFamilies()
 	sc := scenario{
-		family:  rng.Intn(len(families)),
-		cfgSel:  rng.Intn(oracle.NumConfigs()),
-		rngSeed: rng.Int63(),
+		family:   rng.Intn(len(families)),
+		cfgSel:   rng.Intn(oracle.NumConfigs()),
+		schedSel: rng.Intn(oracle.NumScheds()),
+		forced:   forced,
+		rngSeed:  rng.Int63(),
 	}
 	// Log-uniform size: most scenarios small (where shapes are degenerate
 	// and bugs shrink nicely), a steady tail up to max-size.
@@ -184,9 +224,18 @@ func makeScenario(base int64, i, minSize, maxSize int) scenario {
 // space.
 func (sc scenario) cfg() core.Config { return oracle.ConfigFromByte(uint8(sc.cfgSel)) }
 
+// schedCfg is the scenario's activation model: the -sched override when
+// set, otherwise the cell's draw from the fuzzing scheduler space.
+func (sc scenario) schedCfg() sched.Config {
+	if sc.forced != nil {
+		return *sc.forced
+	}
+	return oracle.SchedFromByte(uint8(sc.schedSel))
+}
+
 func (sc scenario) desc() string {
-	return fmt.Sprintf("family=%s size=%d cfg=%d seed=%d",
-		scenarioFamilies()[sc.family], sc.size, sc.cfgSel, sc.rngSeed)
+	return fmt.Sprintf("family=%s size=%d cfg=%d sched=%s seed=%d",
+		scenarioFamilies()[sc.family], sc.size, sc.cfgSel, sc.schedCfg(), sc.rngSeed)
 }
 
 // build constructs the scenario's start configuration.
@@ -202,12 +251,12 @@ func (sc scenario) build() (*chain.Chain, error) {
 }
 
 // runScenario reproduces one scenario index in isolation (-only).
-func runScenario(base int64, i, minSize, maxSize int) (string, error) {
-	sc := makeScenario(base, i, minSize, maxSize)
+func runScenario(base int64, i, minSize, maxSize int, forced *sched.Config) (string, error) {
+	sc := makeScenario(base, i, minSize, maxSize, forced)
 	ch, err := sc.build()
 	if err != nil {
 		return sc.desc(), err
 	}
-	_, err = oracle.Check(sc.cfg(), ch, 0)
+	_, err = oracle.CheckWithOptions(sc.cfg(), ch, oracle.Options{Sched: sc.schedCfg()})
 	return fmt.Sprintf("%s n=%d", sc.desc(), ch.Len()), err
 }

@@ -1,10 +1,12 @@
 // Command gathersim runs one gathering simulation and prints its summary
-// (optionally with ASCII frames or a JSON result).
+// (optionally with ASCII frames or a JSON result). Run gathersim -help for
+// the full flag reference with defaults and example invocations.
 //
 // Usage:
 //
 //	gathersim -shape spiral -size 512
 //	gathersim -shape walk -size 200 -seed 7 -ascii 25
+//	gathersim -shape rectangle -size 256 -sched rr:3
 //	gathersim -in chain.json -json
 package main
 
@@ -19,9 +21,65 @@ import (
 	"gridgather/internal/chain"
 	"gridgather/internal/core"
 	"gridgather/internal/generate"
+	"gridgather/internal/sched"
 	"gridgather/internal/sim"
 	"gridgather/internal/trace"
 )
+
+// usage is the -help text: every flag with its default, grouped by what it
+// controls, with example invocations — flags without a story here are
+// flags nobody can use.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, `gathersim — run one gathering simulation and print its summary.
+
+Workload (what to simulate):
+  -shape NAME    workload family (default spiral): %s
+  -size N        approximate number of robots (default 256); families round
+                 to their structural grid, so the chain built may differ
+  -seed S        random seed of the randomized families walk, polyomino,
+                 histogram, doubled (default 1); deterministic families
+                 ignore it
+  -in FILE       read the initial chain from a JSON file written by
+                 chaingen (or from the "chain seed" line a failing run
+                 prints) instead of generating; overrides -shape/-size/-seed
+
+Algorithm parameters (defaults are the paper's):
+  -view V        viewing path length V (default %d, minimum 7)
+  -period L      run start period L (default %d)
+  -mergelen K    maximum merge pattern length (default %d = V-1; smaller
+                 values livelock large square rings, see EXPERIMENTS.md E11)
+  -merge-only    disable all run starts (ablation; livelocks on mergeless
+                 shapes — pair with -max-rounds)
+  -sequential    disable pipelining: new runs wait for the chain to be
+                 run-free (ablation)
+
+Activation model (default: the paper's fully synchronous rounds):
+  -sched CONF    scheduler deciding which robots act each round:
+                 fsync | rr:K | bounded:K[:p=P][:seed=S] | random[:p=P][:seed=S]
+                 (see DESIGN.md §8; non-FSYNC runs scale the watchdog by
+                 the inverse activation rate)
+
+Execution and output:
+  -check         per-round safety invariant checking (O(n)/round)
+  -max-rounds N  override the liveness watchdog (default 0 = automatic:
+                 %d*n+%d, scaled for non-FSYNC schedulers)
+  -ascii N       print an ASCII frame every N rounds (default 0 = off)
+  -json          print the full Result as JSON instead of the summary
+
+Examples:
+  gathersim -shape spiral -size 512            # the classic worst case
+  gathersim -shape walk -size 200 -seed 7 -ascii 25
+  gathersim -shape rectangle -size 256 -sched rr:3
+  gathersim -shape comb -size 300 -view 9 -period 5 -check
+  gathersim -in chain.json -json               # re-run a saved chain
+
+On an engine error the exit status is non-zero and stderr carries the
+exact start configuration as a ready-to-use -in seed.
+`, strings.Join(generate.Names(), ", "),
+		core.DefaultViewingPathLength, core.DefaultRunPeriod, core.DefaultMaxMergeLen,
+		sim.DefaultWatchdogFactor, sim.DefaultWatchdogSlack)
+}
 
 func main() {
 	var (
@@ -38,9 +96,15 @@ func main() {
 		seqRuns   = flag.Bool("sequential", false, "disable pipelining (ablation)")
 		check     = flag.Bool("check", false, "enable per-round invariant checking")
 		maxRounds = flag.Int("max-rounds", 0, "override the watchdog limit (0 = automatic)")
+		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
+	schedCfg, err := sched.Parse(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
 	ch, err := loadChain(*inFile, *shape, *size, *seed)
 	if err != nil {
 		fatal(err)
@@ -56,6 +120,7 @@ func main() {
 		},
 		CheckInvariants: *check,
 		MaxRounds:       *maxRounds,
+		Sched:           schedCfg,
 	}
 	var rec *trace.Recorder
 	if *asciiEach > 0 {
@@ -89,8 +154,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gathersim: aborted after %d rounds with %d/%d robots left\n",
 			res.Rounds, res.FinalLen, n)
 		if *inFile == "" {
-			fmt.Fprintf(os.Stderr, "gathersim: reproduce with: gathersim -shape %s -size %d -seed %d (flags as above), or via -in with the seed below\n",
-				*shape, *size, *seed)
+			fmt.Fprintf(os.Stderr, "gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s (flags as above), or via -in with the seed below\n",
+				*shape, *size, *seed, schedCfg)
 		}
 		fmt.Fprintf(os.Stderr, "gathersim: chain seed: %s\n", seedJSON)
 		os.Exit(1)

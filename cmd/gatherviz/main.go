@@ -5,6 +5,7 @@
 //
 //	gatherviz -shape comb -size 200 -every 10
 //	gatherviz -shape spiral -size 400 -svg out.svg
+//	gatherviz -shape rectangle -size 128 -sched rr:3 -every 50
 package main
 
 import (
@@ -15,21 +16,27 @@ import (
 	"strings"
 
 	"gridgather/internal/generate"
+	"gridgather/internal/sched"
 	"gridgather/internal/sim"
 	"gridgather/internal/trace"
 )
 
 func main() {
 	var (
-		shape = flag.String("shape", "spiral", "workload family: "+strings.Join(generate.Names(), ", "))
-		size  = flag.Int("size", 128, "approximate number of robots")
-		seed  = flag.Int64("seed", 1, "random seed")
-		every = flag.Int("every", 10, "sample a frame every N rounds")
-		svg   = flag.String("svg", "", "write an SVG overlay to this file instead of ASCII")
-		scale = flag.Int("scale", 8, "SVG pixels per grid unit")
+		shape     = flag.String("shape", "spiral", "workload family: "+strings.Join(generate.Names(), ", "))
+		size      = flag.Int("size", 128, "approximate number of robots")
+		seed      = flag.Int64("seed", 1, "random seed")
+		every     = flag.Int("every", 10, "sample a frame every N rounds")
+		svg       = flag.String("svg", "", "write an SVG overlay to this file instead of ASCII")
+		scale     = flag.Int("scale", 8, "SVG pixels per grid unit")
+		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
 	)
 	flag.Parse()
 
+	schedCfg, err := sched.Parse(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
 	ch, err := generate.Named(*shape, *size, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		fatal(err)
@@ -37,7 +44,7 @@ func main() {
 	rec := trace.NewRecorder()
 	rec.Every = *every
 	rec.InitialFrame(ch)
-	res, err := sim.Gather(ch, sim.Options{Observer: rec})
+	res, err := sim.Gather(ch, sim.Options{Observer: rec, Sched: schedCfg})
 	if err != nil {
 		fatal(err)
 	}

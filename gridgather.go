@@ -12,8 +12,11 @@
 //   - internal/chain, internal/grid, internal/view — the substrate: the
 //     closed-chain data structure, grid geometry, and the restricted
 //     local views (viewing path length 11);
-//   - internal/sim — the synchronous engine with invariant checking,
-//     watchdog and instrumentation;
+//   - internal/sim — the round engine with invariant checking, watchdog
+//     and instrumentation;
+//   - internal/sched — pluggable activation schedulers: FSYNC (the
+//     paper's model), round-robin SSYNC, a bounded adversary, and
+//     Bernoulli activation (Options.Sched, DESIGN.md §8);
 //   - internal/generate — workload generators (spirals, combs,
 //     staircases, random polyominoes, random closed walks, …) and the
 //     fuzzing decoders (FromBytes);
@@ -42,6 +45,7 @@ import (
 	"gridgather/internal/generate"
 	"gridgather/internal/grid"
 	"gridgather/internal/oracle"
+	"gridgather/internal/sched"
 	"gridgather/internal/sim"
 )
 
@@ -71,6 +75,54 @@ type (
 	// PairStats is the run-pair accounting (Lemma 1/2 instrumentation).
 	PairStats = sim.PairStats
 )
+
+// Activation schedulers (internal/sched, DESIGN.md §8). The paper proves
+// its O(n) bound for fully synchronous rounds; Options.Sched relaxes the
+// activation model to ask how the strategy degrades (the E-sched tables in
+// EXPERIMENTS.md).
+type (
+	// SchedConfig describes an activation scheduler as a comparable value
+	// for Options.Sched. The zero value is FSYNC — every robot activated
+	// every round, the paper's model.
+	SchedConfig = sched.Config
+	// SchedKind selects one of the built-in activation models.
+	SchedKind = sched.Kind
+)
+
+// The built-in activation models for SchedConfig.Kind.
+const (
+	// SchedFSYNC activates every robot in every round (the default).
+	SchedFSYNC = sched.FSYNC
+	// SchedRoundRobin activates a contiguous window of ceil(n/K) robots,
+	// sliding one chain index per round (deterministic SSYNC).
+	SchedRoundRobin = sched.RoundRobin
+	// SchedBoundedAdversary lets robots sleep at random (seeded), but
+	// never more than K consecutive rounds.
+	SchedBoundedAdversary = sched.BoundedAdversary
+	// SchedRandom activates each robot independently with probability P
+	// per round (seeded Bernoulli).
+	SchedRandom = sched.Random
+)
+
+// ParseSched parses the -sched flag syntax shared by all CLIs: "fsync",
+// "rr:K", "bounded:K[:p=P][:seed=S]", "random[:p=P][:seed=S]".
+func ParseSched(s string) (SchedConfig, error) { return sched.Parse(s) }
+
+// RoundRobinSched returns the deterministic SSYNC scheduler config: a
+// contiguous window of ceil(n/k) robots per round, sliding by one.
+func RoundRobinSched(k int) SchedConfig { return SchedConfig{Kind: sched.RoundRobin, K: k} }
+
+// BoundedAdversarySched returns the bounded-asynchrony scheduler config:
+// seeded random sleeping, at most k consecutive rounds per robot.
+func BoundedAdversarySched(k int, seed int64) SchedConfig {
+	return SchedConfig{Kind: sched.BoundedAdversary, K: k, Seed: seed}
+}
+
+// RandomSched returns the Bernoulli activation scheduler config: each
+// robot independently active with probability p per round.
+func RandomSched(p float64, seed int64) SchedConfig {
+	return SchedConfig{Kind: sched.Random, P: p, Seed: seed}
+}
 
 // V constructs a grid vector.
 func V(x, y int) Vec { return grid.V(x, y) }

@@ -97,6 +97,45 @@ func TestFacadeAblationOptions(t *testing.T) {
 	}
 }
 
+// TestFacadeSchedulers: the three relaxed activation models are runnable
+// straight from gridgather.Options, reproducibly, and the zero-value
+// SchedConfig stays FSYNC.
+func TestFacadeSchedulers(t *testing.T) {
+	var zero gridgather.SchedConfig
+	if zero.Kind != gridgather.SchedFSYNC {
+		t.Fatalf("zero SchedConfig must be FSYNC, got %v", zero.Kind)
+	}
+	for _, sc := range []gridgather.SchedConfig{
+		gridgather.RoundRobinSched(3),
+		gridgather.BoundedAdversarySched(2, 7),
+		gridgather.RandomSched(0.7, 7),
+	} {
+		t.Run(sc.String(), func(t *testing.T) {
+			ch, err := gridgather.Rectangle(16, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := gridgather.Gather(ch, gridgather.Options{Sched: sc})
+			if err != nil {
+				t.Fatalf("%v did not gather: %v", sc, err)
+			}
+			if !res.Gathered {
+				t.Fatalf("%v: not gathered: %+v", sc, res)
+			}
+			parsed, err := gridgather.ParseSched(sc.String())
+			if err != nil {
+				t.Fatalf("ParseSched(%q): %v", sc, err)
+			}
+			// Compare canonical forms: String() normalises defaulted
+			// parameters (e.g. p=0.5), so the parsed config may differ from
+			// sc only in explicitly-spelled defaults.
+			if parsed.String() != sc.String() {
+				t.Errorf("flag round trip: %v != %v", parsed, sc)
+			}
+		})
+	}
+}
+
 // TestVerifyFacade: the public conformance hook accepts a healthy
 // workload and rejects nothing on it.
 func TestVerifyFacade(t *testing.T) {

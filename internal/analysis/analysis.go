@@ -1,7 +1,3 @@
-// Package analysis provides the statistics used by the experiment harness:
-// summary statistics over samples, least-squares linear fits (the evidence
-// for Theorem 1's linear bound), and plain-text/markdown table rendering
-// for cmd/gatherbench.
 package analysis
 
 import (

@@ -1,0 +1,5 @@
+// Package analysis provides the statistics used by the experiment harness:
+// summary statistics over samples, least-squares linear fits (the evidence
+// for Theorem 1's linear bound), and plain-text/markdown table rendering
+// for cmd/gatherbench.
+package analysis

@@ -1,0 +1,7 @@
+// Package benchdefs holds the single-source bodies of the pinned
+// benchmark subset recorded in the repo's BENCH_*.json trajectory
+// (internal/benchio). Both the `go test -bench` suite (bench_test.go at
+// the repo root) and `gatherbench -bench-out` execute these same
+// functions, so the committed trajectory and local benchmark runs always
+// measure identical workloads — the correspondence cannot drift.
+package benchdefs

@@ -12,6 +12,12 @@ import (
 type runDecision struct {
 	run *Run
 
+	// frozen marks a run whose host sleeps this round (non-FSYNC
+	// schedulers only): no termination check, no hop, no advance — the run
+	// state carries over unchanged, except that a host removed by a
+	// neighbour's merge is chased along the survivor links.
+	frozen bool
+
 	terminate bool
 	reason    TerminateReason
 	// mergeRobot identifies the merge pattern of a TermMerge (the ID of

@@ -247,18 +247,38 @@ func (a *Algorithm) resolveAlive(h chain.Handle, maxHops int) chain.Handle {
 	return h
 }
 
-// Step executes one synchronous round and reports what happened. Stepping
-// a gathered configuration is a no-op that reports Gathered.
+// Step executes one fully synchronous (FSYNC) round and reports what
+// happened: every robot is activated. Stepping a gathered configuration is
+// a no-op that reports Gathered.
 //
 // The report's event slices (Starts, Ends, MergeEvents) are backed by
 // scratch buffers reused by the next Step call; callers that retain them
 // across rounds must copy (see DESIGN.md §5).
-func (a *Algorithm) Step() (RoundReport, error) {
+func (a *Algorithm) Step() (RoundReport, error) { return a.StepActivated(nil) }
+
+// activeAt reports whether the robot at chain index i is activated this
+// round; a nil activation set means FSYNC (everyone is).
+func activeAt(active []bool, i int) bool {
+	return active == nil || (i >= 0 && i < len(active) && active[i])
+}
+
+// StepActivated executes one round under a partial activation set:
+// active[i] decides whether the robot at chain index i (at the start of
+// the round) performs its look–compute–move cycle. Sleeping robots keep
+// their position, start no runs, execute no merge hops, and their hosted
+// runs are frozen in place; their stale positions remain fully visible to
+// active robots (internal/sched documents the model). A nil set selects
+// the FSYNC fast path, which is byte-identical to the pre-scheduler
+// implementation — golden traces and the bench trajectory pin that.
+func (a *Algorithm) StepActivated(active []bool) (RoundReport, error) {
 	rep := RoundReport{Round: a.round}
 	if a.ch.Gathered() {
 		rep.ChainLen = a.ch.Len()
 		rep.Gathered = true
 		return rep, nil
+	}
+	if active != nil && len(active) != a.ch.Len() {
+		return rep, fmt.Errorf("core: activation set has %d entries for %d robots", len(active), a.ch.Len())
 	}
 	a.anomalies = Anomalies{}
 	sc := &a.scratch
@@ -282,6 +302,10 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	}
 	decisions := sc.decisions[:0]
 	for _, run := range a.runs {
+		if !activeAt(active, a.ch.IndexOf(run.Host)) {
+			decisions = append(decisions, runDecision{run: run, frozen: true})
+			continue
+		}
 		decisions = append(decisions, a.computeRunDecision(run, plan))
 	}
 	sc.decisions = decisions
@@ -294,6 +318,9 @@ func (a *Algorithm) Step() (RoundReport, error) {
 		a.round%a.cfg.RunPeriod == 0 && a.ch.Len() >= MinChainForRuns &&
 		(!a.cfg.SequentialRuns || len(a.runs) == 0) {
 		for i := 0; i < a.ch.Len(); i++ {
+			if !activeAt(active, i) {
+				continue // sleeping robots look at nothing and start nothing
+			}
 			r := a.ch.At(i)
 			if plan.Participant(r) {
 				continue
@@ -326,11 +353,14 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	// where both are suppressed.
 	sc.hops.Reset(nh)
 	for _, h := range plan.HopHandles() {
+		if !activeAt(active, a.ch.IndexOf(h)) {
+			continue // sleeping blacks execute no merge hop
+		}
 		if v, ok := plan.Hop(h); ok {
 			sc.hops.Set(h, v)
+			rep.MergeHops++
 		}
 	}
-	rep.MergeHops = plan.HopCount()
 	sc.runnerHop.Reset(nh)
 	for i := range decisions {
 		d := &decisions[i]
@@ -383,35 +413,85 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	// the operation's geometry); merge-pattern edges are legal by pattern
 	// geometry and their neighbours are participants (no runner or start
 	// hops); and adjacent corner starts are geometrically impossible.
-	for changed := true; changed; {
-		changed = false
-		for _, r := range sc.hops.Keys() {
-			if !sc.runnerHop.Has(r) {
-				continue
-			}
-			h, ok := sc.hops.Get(r)
-			if !ok {
-				continue // already suppressed
-			}
-			for _, dir := range [2]int{+1, -1} {
-				nb := a.ch.Next(r)
-				if dir < 0 {
-					nb = a.ch.Prev(r)
-				}
-				nh, _ := sc.hops.Get(nb) // zero when static or suppressed
-				after := a.ch.PosOf(nb).Add(nh).Sub(a.ch.PosOf(r).Add(h))
-				if after.IsChainEdge() {
+	//
+	// The FSYNC scan therefore only needs to inspect runner hops. Under a
+	// partial activation set those geometric guarantees are gone — a merge
+	// hop can sit next to a sleeping black of its own pattern, a start hop
+	// next to a frozen neighbour FSYNC would have moved — so the non-FSYNC
+	// branch below runs the same fixpoint over EVERY hop, retracting the
+	// counter of whichever class the suppressed hop belonged to. The two
+	// branches are kept separate so the FSYNC path stays byte-identical.
+	if active == nil {
+		for changed := true; changed; {
+			changed = false
+			for _, r := range sc.hops.Keys() {
+				if !sc.runnerHop.Has(r) {
 					continue
 				}
-				sc.hops.Delete(r)
-				rep.RunnerHops--
-				if sc.runnerHop.Has(nb) && sc.hops.Has(nb) {
-					sc.hops.Delete(nb)
-					rep.RunnerHops--
+				h, ok := sc.hops.Get(r)
+				if !ok {
+					continue // already suppressed
 				}
-				a.anomalies.HopConflicts++
-				changed = true
-				break
+				for _, dir := range [2]int{+1, -1} {
+					nb := a.ch.Next(r)
+					if dir < 0 {
+						nb = a.ch.Prev(r)
+					}
+					nh, _ := sc.hops.Get(nb) // zero when static or suppressed
+					after := a.ch.PosOf(nb).Add(nh).Sub(a.ch.PosOf(r).Add(h))
+					if after.IsChainEdge() {
+						continue
+					}
+					sc.hops.Delete(r)
+					rep.RunnerHops--
+					if sc.runnerHop.Has(nb) && sc.hops.Has(nb) {
+						sc.hops.Delete(nb)
+						rep.RunnerHops--
+					}
+					a.anomalies.HopConflicts++
+					changed = true
+					break
+				}
+			}
+		}
+	} else {
+		// retract suppresses r's hop and takes it back out of the counter
+		// of its class. The classes are disjoint by construction: merge
+		// participants host no surviving run decisions, and start hops are
+		// dropped on robots that already hop.
+		retract := func(r chain.Handle) {
+			sc.hops.Delete(r)
+			switch {
+			case sc.runnerHop.Has(r):
+				rep.RunnerHops--
+			case sc.startHops.Has(r):
+				rep.StartHops--
+			default:
+				rep.MergeHops--
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, r := range sc.hops.Keys() {
+				h, ok := sc.hops.Get(r)
+				if !ok {
+					continue // already suppressed
+				}
+				for _, dir := range [2]int{+1, -1} {
+					nb := a.ch.Next(r)
+					if dir < 0 {
+						nb = a.ch.Prev(r)
+					}
+					nh, _ := sc.hops.Get(nb) // zero when static, sleeping, or suppressed
+					after := a.ch.PosOf(nb).Add(nh).Sub(a.ch.PosOf(r).Add(h))
+					if after.IsChainEdge() {
+						continue
+					}
+					retract(r)
+					a.anomalies.HopConflicts++
+					changed = true
+					break
+				}
 			}
 		}
 	}
@@ -455,6 +535,25 @@ func (a *Algorithm) Step() (RoundReport, error) {
 	for i := range decisions {
 		d := &decisions[i]
 		run := d.run
+		if d.frozen {
+			// A sleeping host freezes its runs in place. The host may still
+			// have been removed by a merge an active neighbour completed —
+			// follow the survivor links like an advance would.
+			if !a.ch.Contains(run.Host) {
+				host := a.resolveAlive(run.Host, len(events))
+				if host == chain.None {
+					ends = append(ends, EndEvent{
+						RunID: run.ID, Reason: TermHostRemoved,
+						RobotID: a.ch.ID(run.Host), MergeRobot: -1,
+					})
+					a.anomalies.LostAdvance++
+					continue
+				}
+				run.Host = host
+			}
+			alive = append(alive, run)
+			continue
+		}
 		if d.terminate {
 			ends = append(ends, EndEvent{
 				RunID: run.ID, Reason: d.reason,

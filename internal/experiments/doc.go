@@ -1,0 +1,11 @@
+// Package experiments implements the reproduction's experiment suite
+// (DESIGN.md §4): one function per experiment, each returning rendered
+// tables plus notes. cmd/gatherbench drives the suite; EXPERIMENTS.md
+// records its output against the paper's claims.
+//
+// Every experiment expresses its (configuration × trial) grid as a task
+// list executed through the internal/parallel worker pool. Each grid cell
+// owns a private RNG seeded by parallel.TaskSeed(Seed+offset, config,
+// trial) and a private simulation engine, so the rendered tables are
+// bit-identical for every worker count (DESIGN.md §5).
+package experiments

@@ -1,13 +1,3 @@
-// Package experiments implements the reproduction's experiment suite
-// (DESIGN.md §4): one function per experiment, each returning rendered
-// tables plus notes. cmd/gatherbench drives the suite; EXPERIMENTS.md
-// records its output against the paper's claims.
-//
-// Every experiment expresses its (configuration × trial) grid as a task
-// list executed through the internal/parallel worker pool. Each grid cell
-// owns a private RNG seeded by parallel.TaskSeed(Seed+offset, config,
-// trial) and a private simulation engine, so the rendered tables are
-// bit-identical for every worker count (DESIGN.md §5).
 package experiments
 
 import (
@@ -23,6 +13,7 @@ import (
 	"gridgather/internal/generate"
 	"gridgather/internal/grid"
 	"gridgather/internal/parallel"
+	"gridgather/internal/sched"
 	"gridgather/internal/sim"
 )
 
@@ -40,6 +31,28 @@ type Params struct {
 	// GOMAXPROCS. Results are identical for every value (the determinism
 	// contract of internal/parallel).
 	Parallel int
+	// Sched is the activation model the suite's round simulations run
+	// under (internal/sched; zero value = FSYNC, the paper's model and the
+	// recorded EXPERIMENTS.md setting). It applies to every experiment
+	// that gathers through the round engine (E1, E2/E3, E4, E8, and the
+	// E10–E13 ablations). It does not apply where a scheduler has no
+	// meaning: E9's one-round structural probe of the FSYNC start
+	// patterns, and E12's non-round baselines (global-vision contraction,
+	// open-chain hoppers). The scheduler axis itself is swept by ESched
+	// regardless of this field.
+	Sched sched.Config
+}
+
+// gatherOpts returns the sim options of a suite simulation: the suite-wide
+// activation model plus any per-experiment extras the caller sets.
+func (p Params) gatherOpts() sim.Options { return sim.Options{Sched: p.Sched} }
+
+// withSched stamps the suite-wide activation model onto options built by
+// the ablation presets (baseline.*Options), which know nothing about
+// schedulers.
+func (p Params) withSched(opts sim.Options) sim.Options {
+	opts.Sched = p.Sched
+	return opts
 }
 
 // DefaultParams returns the sizes used for EXPERIMENTS.md.
@@ -96,6 +109,7 @@ func All(p Params) ([]Outcome, error) {
 		E11AblationMergeLen,
 		E12Baselines,
 		E13AblationView,
+		ESched,
 	}
 	var out []Outcome
 	for _, f := range runs {
@@ -168,7 +182,7 @@ func E1Theorem1(p Params) (Outcome, error) {
 					return sample{}, err
 				}
 				n := ch.Len()
-				res, err := sim.Gather(ch, sim.Options{})
+				res, err := sim.Gather(ch, p.gatherOpts())
 				if err != nil {
 					return sample{}, fmt.Errorf("E1 %s n=%d: %w", c.shape, n, err)
 				}
@@ -246,7 +260,7 @@ func E2E3Lemmas(p Params) (Outcome, error) {
 					return sample{}, err
 				}
 				n := ch.Len()
-				res, err := sim.Gather(ch, sim.Options{})
+				res, err := sim.Gather(ch, p.gatherOpts())
 				if err != nil {
 					return sample{}, fmt.Errorf("E2/E3 %s: %w", shape, err)
 				}
@@ -313,7 +327,9 @@ func E4RunHealth(p Params) (Outcome, error) {
 			if err != nil {
 				return sample{}, err
 			}
-			res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
+			opts := p.gatherOpts()
+			opts.CheckInvariants = true
+			res, err := sim.Gather(ch, opts)
 			if err != nil {
 				return sample{}, fmt.Errorf("E4 %s: %w", shape, err)
 			}
@@ -365,7 +381,7 @@ func E8Pipelining(p Params) (Outcome, error) {
 				return sample{}, err
 			}
 			n := ch.Len()
-			res, err := sim.Gather(ch, sim.Options{})
+			res, err := sim.Gather(ch, p.gatherOpts())
 			if err != nil {
 				return sample{}, fmt.Errorf("E8 side=%d: %w", side, err)
 			}
@@ -509,7 +525,7 @@ func E10AblationRunPeriod(p Params) (Outcome, error) {
 				if err != nil {
 					return ablationSample{}, err
 				}
-				s, err := gatherAblation(ch, baseline.RunPeriodOptions(L))
+				s, err := gatherAblation(ch, p.withSched(baseline.RunPeriodOptions(L)))
 				if err != nil {
 					return s, fmt.Errorf("E10 L=%d %s: %w", L, shape, err)
 				}
@@ -556,7 +572,7 @@ func E11AblationMergeLen(p Params) (Outcome, error) {
 				if err != nil {
 					return ablationSample{}, err
 				}
-				opts := baseline.MergeLenOptions(k)
+				opts := p.withSched(baseline.MergeLenOptions(k))
 				opts.WatchdogFactor = 80
 				s, err := gatherAblation(ch, opts)
 				if err != nil {
@@ -605,9 +621,9 @@ func E12Baselines(p Params) (Outcome, error) {
 			diam := ref.Diameter()
 			row := []string{shape, fmt.Sprintf("%d", n)}
 			for _, opt := range []sim.Options{
-				baseline.PaperOptions(),
-				baseline.SequentialRunsOptions(),
-				baseline.MergeOnlyOptions(),
+				p.withSched(baseline.PaperOptions()),
+				p.withSched(baseline.SequentialRunsOptions()),
+				p.withSched(baseline.MergeOnlyOptions()),
 			} {
 				opt.MaxRounds = 120*n + 400
 				res, err := sim.Gather(ref.Clone(), opt)
@@ -689,7 +705,7 @@ func E13AblationView(p Params) (Outcome, error) {
 				if err != nil {
 					return ablationSample{}, err
 				}
-				s, err := gatherAblation(ch, baseline.ViewOptions(v))
+				s, err := gatherAblation(ch, p.withSched(baseline.ViewOptions(v)))
 				if err != nil {
 					return s, fmt.Errorf("E13 V=%d %s: %w", v, shape, err)
 				}

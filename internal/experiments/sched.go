@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gridgather/internal/analysis"
+	"gridgather/internal/parallel"
+	"gridgather/internal/sched"
+	"gridgather/internal/sim"
+)
+
+// schedSweep is the scheduler axis of the E-sched tables: FSYNC as the
+// baseline, deterministic round robin at increasing relaxation, the
+// bounded adversary, and Bernoulli activation at two rates. RoundRobin
+// K=5 is deliberately past the livelock boundary (the sliding window
+// ceil(n/K) drops below the straight merge patterns the square-ring
+// endgame needs), so the success-rate column shows the strategy's
+// robustness limit instead of hiding it.
+func schedSweep() []sched.Config {
+	return []sched.Config{
+		{Kind: sched.FSYNC},
+		{Kind: sched.RoundRobin, K: 2},
+		{Kind: sched.RoundRobin, K: 3},
+		{Kind: sched.RoundRobin, K: 5},
+		{Kind: sched.BoundedAdversary, K: 3, P: 0.5},
+		{Kind: sched.Random, P: 0.9},
+		{Kind: sched.Random, P: 0.5},
+	}
+}
+
+// schedShapes are the workloads of the scheduler sweep: the run-driven
+// square (hits the endgame-ring boundary), the spiral worst case, and a
+// tangled random walk (merge-driven).
+var schedShapes = []string{"rectangle", "spiral", "walk"}
+
+// schedSample is one simulation under one scheduler: DNFs (the scaled
+// watchdog expiring) are first-class results here, not errors — measuring
+// where gathering stops succeeding is the point of the experiment.
+type schedSample struct {
+	n, rounds int
+	gathered  bool
+}
+
+// runSchedCell simulates one (workload, scheduler, trial) cell. The
+// scheduler seed derives from the cell RNG, so stochastic schedulers vary
+// across trials while the whole grid stays a pure function of the suite
+// seed.
+func runSchedCell(p Params, shape string, sc sched.Config, rng *rand.Rand) (schedSample, error) {
+	size := p.Sizes[len(p.Sizes)/2]
+	ch, err := buildShape(shape, size, rng)
+	if err != nil {
+		return schedSample{}, err
+	}
+	if sc.Kind == sched.BoundedAdversary || sc.Kind == sched.Random {
+		sc.Seed = rng.Int63()
+	}
+	n := ch.Len()
+	res, err := sim.Gather(ch, sim.Options{Sched: sc})
+	if err != nil {
+		if errors.Is(err, sim.ErrWatchdog) {
+			return schedSample{n: n, rounds: res.Rounds, gathered: false}, nil
+		}
+		return schedSample{}, fmt.Errorf("E-sched %s %s: %w", shape, sc, err)
+	}
+	return schedSample{n: n, rounds: res.Rounds, gathered: true}, nil
+}
+
+// ESched sweeps the activation-scheduler axis (DESIGN.md §8): round-count
+// inflation and gather-success rate per scheduler and workload, plus a
+// success/rounds curve over the Bernoulli activation probability.
+func ESched(p Params) (Outcome, error) {
+	p = p.normalized()
+	o := Outcome{ID: "E-sched", Title: "Activation schedulers — round inflation and success rate vs FSYNC"}
+	sweep := schedSweep()
+
+	// Grid 1: shapes x schedulers.
+	var tasks []parallel.Task[schedSample]
+	for ci := 0; ci < len(schedShapes)*len(sweep); ci++ {
+		shape := schedShapes[ci/len(sweep)]
+		sc := sweep[ci%len(sweep)]
+		for trial := 0; trial < p.Trials; trial++ {
+			tasks = append(tasks, seeded(p, 14, ci, trial, func(rng *rand.Rand) (schedSample, error) {
+				return runSchedCell(p, shape, sc, rng)
+			}))
+		}
+	}
+	flat, err := parallel.Run(p.Parallel, tasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks += len(tasks)
+
+	// schedLabel drops the seed suffix from sweep rows: stochastic cells
+	// re-seed per trial (runSchedCell), so the sweep config's own seed is
+	// not what ran.
+	schedLabel := func(sc sched.Config) string {
+		return strings.TrimSuffix(sc.String(), ":seed=0")
+	}
+
+	inflation := analysis.NewTable("shape", "scheduler", "n", "success", "rounds", "rounds/n", "inflation vs fsync")
+	for si, shape := range schedShapes {
+		var fsyncMean float64
+		for ki, sc := range sweep {
+			ci := si*len(sweep) + ki
+			var rounds, ns analysis.Series
+			ok := 0
+			for trial := 0; trial < p.Trials; trial++ {
+				s := flat[ci*p.Trials+trial]
+				ns.AddInt(s.n)
+				if s.gathered {
+					ok++
+					rounds.AddInt(s.rounds)
+				}
+			}
+			successRate := float64(ok) / float64(p.Trials)
+			roundsCell, perN, inflCell := "DNF", "—", "—"
+			if ok > 0 {
+				roundsCell = fmt.Sprintf("%.0f ± %.0f", rounds.Mean(), rounds.Std())
+				perN = fmt.Sprintf("%.3f", rounds.Mean()/ns.Mean())
+				if sc.Kind == sched.FSYNC {
+					fsyncMean = rounds.Mean()
+				}
+				if fsyncMean > 0 {
+					inflCell = fmt.Sprintf("%.2fx", rounds.Mean()/fsyncMean)
+				}
+			}
+			inflation.AddRow(shape, schedLabel(sc),
+				fmt.Sprintf("%.0f", ns.Mean()),
+				fmt.Sprintf("%.0f%%", 100*successRate),
+				roundsCell, perN, inflCell)
+		}
+	}
+
+	// Grid 2: success and rounds against the Bernoulli activation
+	// probability on the square workload.
+	probs := []float64{0.2, 0.3, 0.5, 0.7, 0.9, 1.0}
+	var ptasks []parallel.Task[schedSample]
+	for pi, prob := range probs {
+		sc := sched.Config{Kind: sched.Random, P: prob}
+		for trial := 0; trial < p.Trials; trial++ {
+			ptasks = append(ptasks, seeded(p, 15, pi, trial, func(rng *rand.Rand) (schedSample, error) {
+				return runSchedCell(p, "rectangle", sc, rng)
+			}))
+		}
+	}
+	pflat, err := parallel.Run(p.Parallel, ptasks)
+	if err != nil {
+		return o, err
+	}
+	o.Tasks += len(ptasks)
+
+	curve := analysis.NewTable("activation probability p", "success", "rounds", "inflation vs p=1")
+	cell := func(pi int) (ok int, rounds analysis.Series) {
+		for trial := 0; trial < p.Trials; trial++ {
+			if s := pflat[pi*p.Trials+trial]; s.gathered {
+				ok++
+				rounds.AddInt(s.rounds)
+			}
+		}
+		return ok, rounds
+	}
+	var fullMean float64
+	for pi, prob := range probs {
+		if prob == 1.0 {
+			if ok, rounds := cell(pi); ok > 0 {
+				fullMean = rounds.Mean()
+			}
+		}
+	}
+	for pi, prob := range probs {
+		ok, rounds := cell(pi)
+		roundsCell, inflCell := "DNF", "—"
+		if ok > 0 {
+			roundsCell = fmt.Sprintf("%.0f ± %.0f", rounds.Mean(), rounds.Std())
+			if fullMean > 0 {
+				inflCell = fmt.Sprintf("%.2fx", rounds.Mean()/fullMean)
+			}
+		}
+		curve.AddRow(fmt.Sprintf("%.1f", prob),
+			fmt.Sprintf("%.0f%%", 100*float64(ok)/float64(p.Trials)),
+			roundsCell, inflCell)
+	}
+
+	o.Tables = []*analysis.Table{inflation, curve}
+	o.Notes = []string{
+		"Theorem 1 is proven for FSYNC only; these tables measure how the strategy degrades under relaxed activation: rounds inflate roughly with the inverse activation rate while safety (chain integrity, monotone bounding box) holds throughout — the conformance campaign asserts it per round.",
+		"rr:K slides a contiguous window of ceil(n/K) robots; once that window is smaller than the straight merge patterns the square-ring endgame needs (up to MaxMergeLen blacks hopping together), gathering livelocks — the success-rate column shows the boundary (rr:5 DNFs on squares, like MaxMergeLen < V-1 does under FSYNC in E11).",
+		"Stochastic schedulers (bounded, random) escape that boundary with probability 1: any pattern's blacks are eventually awake together. Their success stays 100% down to low rates; only the constant grows.",
+		"DNF = the rate-scaled liveness watchdog expired; rounds are then not comparable and are omitted.",
+	}
+	return o, nil
+}

@@ -1,0 +1,9 @@
+// Package generate produces closed-chain workloads for the simulator: the
+// structured worst cases the paper's analysis is about (long quasi lines,
+// stairways, nested structures) and randomized families for property
+// testing.
+//
+// Most structured shapes are built by tracing the outer boundary of a
+// polyomino (a set of grid cells): the trace is always a valid closed
+// chain, which makes it easy to add new workload families.
+package generate

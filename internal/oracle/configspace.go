@@ -1,6 +1,9 @@
 package oracle
 
-import "gridgather/internal/core"
+import (
+	"gridgather/internal/core"
+	"gridgather/internal/sched"
+)
 
 // The fuzzing configuration space: the L and V neighbourhood of the
 // paper's parameters. One selector byte indexes a point, so fuzz inputs
@@ -43,3 +46,27 @@ func ConfigFromByte(sel uint8) core.Config {
 	l := fuzzPeriods[s%len(fuzzPeriods)]
 	return core.Config{ViewingPathLength: v, RunPeriod: l, MaxMergeLen: v - 1}
 }
+
+// The fuzzing scheduler space: FSYNC plus a spread over the three relaxed
+// activation models (internal/sched). Rates stay at 1/5 or above so the
+// lockstep's scaled watchdog keeps campaign wall-clock bounded; seeds are
+// fixed because scenario-level randomness already comes from the chain and
+// the selector (the same scheduler stream on a different chain is a
+// different execution).
+var fuzzScheds = []sched.Config{
+	{Kind: sched.FSYNC},
+	{Kind: sched.RoundRobin, K: 2},
+	{Kind: sched.RoundRobin, K: 5},
+	{Kind: sched.BoundedAdversary, K: 1, P: 0.5, Seed: 11},
+	{Kind: sched.BoundedAdversary, K: 4, P: 0.5, Seed: 12},
+	{Kind: sched.Random, P: 0.9, Seed: 13},
+	{Kind: sched.Random, P: 0.5, Seed: 14},
+}
+
+// NumScheds is the size of the fuzzing scheduler space.
+func NumScheds() int { return len(fuzzScheds) }
+
+// SchedFromByte maps a selector byte onto the fuzzing scheduler space
+// (wrapping modulo NumScheds). Selector 0 is FSYNC, so legacy corpus
+// entries and zero-extended inputs keep their original semantics.
+func SchedFromByte(sel uint8) sched.Config { return fuzzScheds[int(sel)%len(fuzzScheds)] }

@@ -11,6 +11,7 @@ import (
 
 	"gridgather/internal/chain"
 	"gridgather/internal/generate"
+	"gridgather/internal/oracle"
 )
 
 // -update-corpus rewrites the committed seed corpus from the current
@@ -73,9 +74,11 @@ func corpusChains(t *testing.T) map[string]*chain.Chain {
 }
 
 // engineCorpusEntry renders one FuzzEngineVsOracle corpus file: the chain
-// as its byte walk plus a configuration selector.
-func engineCorpusEntry(ch *chain.Chain, cfgSel uint8) string {
-	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nbyte(%q)\n", generate.ToBytes(ch), rune(cfgSel))
+// as its byte walk plus a configuration selector and an activation
+// scheduler selector (0 = FSYNC).
+func engineCorpusEntry(ch *chain.Chain, cfgSel, schedSel uint8) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nbyte(%q)\nbyte(%q)\n",
+		generate.ToBytes(ch), rune(cfgSel), rune(schedSel))
 }
 
 // familyCorpusEntry renders one FuzzGenerateFamilies corpus file.
@@ -93,9 +96,12 @@ func TestSeedCorpus(t *testing.T) {
 	chains := corpusChains(t)
 	i := 0
 	for _, name := range sortedKeys(chains) {
-		// Spread the committed seeds across the configuration space so the
-		// corpus alone already covers several (V, L) points.
-		expect[filepath.Join("FuzzEngineVsOracle", name)] = engineCorpusEntry(chains[name], uint8(i%50))
+		// Spread the committed seeds across the configuration and scheduler
+		// spaces so the corpus alone already covers several (V, L) points
+		// and every activation model (the stride 3 is coprime to the
+		// 7-scheduler space, so all selectors occur).
+		expect[filepath.Join("FuzzEngineVsOracle", name)] = engineCorpusEntry(
+			chains[name], uint8(i%50), uint8((i/7*3)%oracle.NumScheds()))
 		i += 7
 	}
 	for fi, name := range generate.Names() {

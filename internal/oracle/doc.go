@@ -1,0 +1,27 @@
+// Package oracle is the model-based conformance layer of the reproduction:
+// a deliberately naive re-implementation of the FSYNC round semantics that
+// the fast engine (internal/core on the internal/chain SoA substrate) is
+// checked against in lockstep, plus a declarative invariant battery, a
+// failing-chain shrinker, and the native fuzz targets built on them.
+//
+// The model favours correctness over speed everywhere the engine favours
+// speed: robots live in a pointer-based ring (no handle arrays, no
+// ring-order cache), per-robot state lives in maps rebuilt by full rescans
+// every round, merge resolution restarts from the head after every splice,
+// and nothing is ever reused across rounds. It is also the repo's first
+// alternate backend: anything that steps a configuration and reports
+// core.RoundReport values can be compared by Check.
+//
+// What is shared and what is independent: the model re-implements the
+// engine-level round semantics — phase ordering, FSYNC freezing, merge
+// planning with spike priority, hop collection and conflict suppression,
+// merge resolution, run lifecycle and registry bookkeeping — but evaluates
+// the paper's per-robot geometric predicates (core.DetectStart,
+// core.EndpointAhead, view.Snapshot) through the same pure functions the
+// engine uses, over a view materialised from the model's own ring
+// (view.Over). Those predicates are the reconstruction of the paper's
+// figures; transliterating them a second time would add no checking power
+// and plenty of false divergences, while every optimisation-bearing layer
+// (scratch reuse, seeded resolution, SoA splicing) is covered by a truly
+// independent implementation.
+package oracle

@@ -8,6 +8,7 @@ import (
 	"gridgather/internal/core"
 	"gridgather/internal/generate"
 	"gridgather/internal/oracle"
+	"gridgather/internal/sched"
 )
 
 // fuzzMaxSteps caps per-input chain size in the native fuzz targets: the
@@ -16,34 +17,50 @@ import (
 // cover the big end; cmd/gatherfuzz covers volume.
 const fuzzMaxSteps = 512
 
+// fuzzMaxStepsSched is the tighter cap for non-FSYNC scheduler selectors:
+// a rate-1/k scheduler multiplies the lockstep's round budget by k against
+// a naive model that costs O(n²) per round, so full-size chains blow the
+// per-input fuzz deadline without adding coverage the small ones lack.
+const fuzzMaxStepsSched = 192
+
 // FuzzEngineVsOracle decodes arbitrary bytes into a valid closed chain
-// (generate.FromBytes), picks a configuration from the ablation space,
-// and runs the fast engine against the naive model in lockstep. On a
-// divergence the failing chain is shrunk and printed as a ready-to-paste
-// seed.
+// (generate.FromBytes), picks a configuration from the ablation space and
+// an activation scheduler from the scheduler space, and runs the fast
+// engine against the naive model in lockstep on one shared activation
+// set. Scheduler selector 0 is FSYNC, so legacy corpus entries keep their
+// meaning. On a divergence the failing chain is shrunk (under the same
+// config and scheduler) and printed as a ready-to-paste seed.
 func FuzzEngineVsOracle(f *testing.F) {
 	rng := rand.New(rand.NewSource(61))
-	for _, name := range generate.Names() {
+	for i, name := range generate.Names() {
 		if ch, err := generate.Named(name, 16, rng); err == nil {
-			f.Add(generate.ToBytes(ch), uint8(0))
+			f.Add(generate.ToBytes(ch), uint8(0), uint8(0))
+			// One non-FSYNC seed per family so the mutator starts with the
+			// scheduler axis already open.
+			f.Add(generate.ToBytes(ch), uint8(i), uint8(1+i%(oracle.NumScheds()-1)))
 		}
 	}
-	f.Fuzz(func(t *testing.T, data []byte, cfgSel uint8) {
-		if len(data) > fuzzMaxSteps {
-			data = data[:fuzzMaxSteps]
+	f.Fuzz(func(t *testing.T, data []byte, cfgSel, schedSel uint8) {
+		opts := oracle.Options{Sched: oracle.SchedFromByte(schedSel)}
+		maxSteps := fuzzMaxSteps
+		if opts.Sched.Kind != sched.FSYNC {
+			maxSteps = fuzzMaxStepsSched
+		}
+		if len(data) > maxSteps {
+			data = data[:maxSteps]
 		}
 		ch, err := generate.FromBytes(data)
 		if err != nil {
 			t.Skip() // only the empty input
 		}
 		cfg := oracle.ConfigFromByte(cfgSel)
-		if _, err := oracle.Check(cfg, ch, 0); err != nil {
+		if _, err := oracle.CheckWithOptions(cfg, ch, opts); err != nil {
 			minimal := oracle.Shrink(ch.Positions(), func(c *chain.Chain) bool {
-				_, serr := oracle.Check(cfg, c, 0)
+				_, serr := oracle.CheckWithOptions(cfg, c, opts)
 				return serr != nil
 			})
-			t.Fatalf("engine/model divergence (cfg %+v): %v\nshrunk witness:\n%s",
-				cfg, err, oracle.FormatSeed(minimal))
+			t.Fatalf("engine/model divergence (cfg %+v, sched %s): %v\nshrunk witness:\n%s",
+				cfg, opts.Sched, err, oracle.FormatSeed(minimal))
 		}
 	})
 }

@@ -1,29 +1,3 @@
-// Package oracle is the model-based conformance layer of the reproduction:
-// a deliberately naive re-implementation of the FSYNC round semantics that
-// the fast engine (internal/core on the internal/chain SoA substrate) is
-// checked against in lockstep, plus a declarative invariant battery, a
-// failing-chain shrinker, and the native fuzz targets built on them.
-//
-// The model favours correctness over speed everywhere the engine favours
-// speed: robots live in a pointer-based ring (no handle arrays, no
-// ring-order cache), per-robot state lives in maps rebuilt by full rescans
-// every round, merge resolution restarts from the head after every splice,
-// and nothing is ever reused across rounds. It is also the repo's first
-// alternate backend: anything that steps a configuration and reports
-// core.RoundReport values can be compared by Check.
-//
-// What is shared and what is independent: the model re-implements the
-// engine-level round semantics — phase ordering, FSYNC freezing, merge
-// planning with spike priority, hop collection and conflict suppression,
-// merge resolution, run lifecycle and registry bookkeeping — but evaluates
-// the paper's per-robot geometric predicates (core.DetectStart,
-// core.EndpointAhead, view.Snapshot) through the same pure functions the
-// engine uses, over a view materialised from the model's own ring
-// (view.Over). Those predicates are the reconstruction of the paper's
-// figures; transliterating them a second time would add no checking power
-// and plenty of false divergences, while every optimisation-bearing layer
-// (scratch reuse, seeded resolution, SoA splicing) is covered by a truly
-// independent implementation.
 package oracle
 
 import (
@@ -356,6 +330,7 @@ func (m *Model) planMerges() (mergePlan, error) {
 // mdecision mirrors core's runDecision for one model run.
 type mdecision struct {
 	run        *mrun
+	frozen     bool
 	terminate  bool
 	reason     core.TerminateReason
 	mergeRobot int
@@ -704,15 +679,31 @@ func resolveAlive(nd *node, survivorOf map[*node]*node) *node {
 
 // ---- the round -------------------------------------------------------------
 
-// Step executes one synchronous round, mirroring core.Algorithm.Step phase
-// by phase, and reports it in the engine's report vocabulary (handles in
-// the report are the model's robot IDs, which equal the engine's handles).
-func (m *Model) Step() (core.RoundReport, error) {
+// Step executes one fully synchronous round, mirroring core.Algorithm.Step
+// phase by phase, and reports it in the engine's report vocabulary (handles
+// in the report are the model's robot IDs, which equal the engine's
+// handles).
+func (m *Model) Step() (core.RoundReport, error) { return m.StepActivated(nil) }
+
+// activeAt mirrors core's nil-means-FSYNC activation lookup.
+func activeAt(active []bool, i int) bool {
+	return active == nil || (i >= 0 && i < len(active) && active[i])
+}
+
+// StepActivated executes one round under a partial activation set, the
+// model's re-implementation of core.Algorithm.StepActivated: sleeping
+// robots (by ring index) keep their position, start nothing, skip their
+// merge hops, and freeze their hosted runs; under any partial set the
+// edge-legality fixpoint covers every hop class. A nil set is FSYNC.
+func (m *Model) StepActivated(active []bool) (core.RoundReport, error) {
 	rep := core.RoundReport{Round: m.round}
 	if m.Gathered() {
 		rep.ChainLen = m.n
 		rep.Gathered = true
 		return rep, nil
+	}
+	if active != nil && len(active) != m.n {
+		return rep, fmt.Errorf("oracle: activation set has %d entries for %d robots", len(active), m.n)
 	}
 	m.anomalies = core.Anomalies{}
 	sv := m.materialise()
@@ -729,6 +720,10 @@ func (m *Model) Step() (core.RoundReport, error) {
 	}
 	decisions := make([]mdecision, 0, len(m.runs))
 	for _, run := range m.runs {
+		if !activeAt(active, m.ringIndexOf(run.host)) {
+			decisions = append(decisions, mdecision{run: run, frozen: true})
+			continue
+		}
 		decisions = append(decisions, m.decideRun(sv, run, plan))
 	}
 
@@ -739,6 +734,9 @@ func (m *Model) Step() (core.RoundReport, error) {
 		m.round%m.cfg.RunPeriod == 0 && m.n >= core.MinChainForRuns &&
 		(!m.cfg.SequentialRuns || len(m.runs) == 0) {
 		for i, nd := range m.ring() {
+			if !activeAt(active, i) {
+				continue // sleeping robots look at nothing and start nothing
+			}
 			if plan.participants[nd] {
 				continue
 			}
@@ -772,6 +770,9 @@ func (m *Model) Step() (core.RoundReport, error) {
 	hops := make(map[*node]grid.Vec)
 	var hopOrder []*node
 	for _, b := range plan.hopOrder {
+		if !activeAt(active, m.ringIndexOf(b)) {
+			continue // sleeping blacks execute no merge hop
+		}
 		hops[b] = plan.hops[b]
 		hopOrder = append(hopOrder, b)
 	}
@@ -813,31 +814,66 @@ func (m *Model) Step() (core.RoundReport, error) {
 	// survivor links) would reshape apart and break their shared edge;
 	// every runner hop on an illegal edge is suppressed, and the scan
 	// repeats because a suppression changes the edges around the
-	// now-static robot.
-	for changed := true; changed; {
-		changed = false
-		for _, r := range hopOrder {
-			if !runnerHop[r] {
-				continue
-			}
-			h, ok := hops[r]
-			if !ok {
-				continue // already suppressed
-			}
-			for _, nb := range [2]*node{r.next, r.prev} {
-				nh := hops[nb] // zero when static or suppressed
-				if after := nb.pos.Add(nh).Sub(r.pos.Add(h)); after.IsChainEdge() {
+	// now-static robot. Under FSYNC only runner hops need checking; under
+	// a partial activation set the fixpoint covers every hop class, again
+	// mirroring the engine (core.Algorithm.StepActivated).
+	if active == nil {
+		for changed := true; changed; {
+			changed = false
+			for _, r := range hopOrder {
+				if !runnerHop[r] {
 					continue
 				}
-				delete(hops, r)
-				rep.RunnerHops--
-				if _, live := hops[nb]; runnerHop[nb] && live {
-					delete(hops, nb)
-					rep.RunnerHops--
+				h, ok := hops[r]
+				if !ok {
+					continue // already suppressed
 				}
-				m.anomalies.HopConflicts++
-				changed = true
-				break
+				for _, nb := range [2]*node{r.next, r.prev} {
+					nh := hops[nb] // zero when static or suppressed
+					if after := nb.pos.Add(nh).Sub(r.pos.Add(h)); after.IsChainEdge() {
+						continue
+					}
+					delete(hops, r)
+					rep.RunnerHops--
+					if _, live := hops[nb]; runnerHop[nb] && live {
+						delete(hops, nb)
+						rep.RunnerHops--
+					}
+					m.anomalies.HopConflicts++
+					changed = true
+					break
+				}
+			}
+		}
+	} else {
+		retract := func(r *node) {
+			delete(hops, r)
+			switch {
+			case runnerHop[r]:
+				rep.RunnerHops--
+			case func() bool { _, ok := startHops[r]; return ok }():
+				rep.StartHops--
+			default:
+				rep.MergeHops--
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, r := range hopOrder {
+				h, ok := hops[r]
+				if !ok {
+					continue // already suppressed
+				}
+				for _, nb := range [2]*node{r.next, r.prev} {
+					nh := hops[nb] // zero when static, sleeping, or suppressed
+					if after := nb.pos.Add(nh).Sub(r.pos.Add(h)); after.IsChainEdge() {
+						continue
+					}
+					retract(r)
+					m.anomalies.HopConflicts++
+					changed = true
+					break
+				}
 			}
 		}
 	}
@@ -876,6 +912,25 @@ func (m *Model) Step() (core.RoundReport, error) {
 	for i := range decisions {
 		d := &decisions[i]
 		run := d.run
+		if d.frozen {
+			// Mirror of the engine's frozen-run rule: a sleeping host keeps
+			// its runs, but a host merged away by an active neighbour is
+			// chased along the survivor links.
+			if !run.host.live {
+				host := resolveAlive(run.host, survivorOf)
+				if host == nil {
+					ends = append(ends, core.EndEvent{
+						RunID: run.id, Reason: core.TermHostRemoved,
+						RobotID: run.host.id, MergeRobot: -1,
+					})
+					m.anomalies.LostAdvance++
+					continue
+				}
+				run.host = host
+			}
+			alive = append(alive, run)
+			continue
+		}
 		if d.terminate {
 			ends = append(ends, core.EndEvent{
 				RunID: run.id, Reason: d.reason,

@@ -2,10 +2,12 @@ package oracle
 
 import (
 	"fmt"
+	"math"
 
 	"gridgather/internal/chain"
 	"gridgather/internal/core"
 	"gridgather/internal/grid"
+	"gridgather/internal/sched"
 )
 
 // Divergence is a disagreement between the fast engine and the naive
@@ -38,15 +40,34 @@ type Options struct {
 	Fault core.Fault
 	// Invariants is the battery to run on the engine's chain after every
 	// round; nil selects Battery(). An empty non-nil slice disables it.
+	// Invariants marked FSYNCOnly are skipped under non-FSYNC schedulers.
 	Invariants []Invariant
+	// Sched selects the activation model both backends step under: one
+	// scheduler instance fills one activation set per round and the engine
+	// and the model execute it in lockstep. The zero value is FSYNC.
+	//
+	// Liveness semantics depend on the model: under FSYNC the (2L+1)n
+	// Theorem 1 cap applies and not gathering in time is a divergence;
+	// under any other scheduler the theorem does not speak, so the check
+	// runs against a generous watchdog (scaled by the inverse activation
+	// rate, or MaxRounds when set) and reaching it without divergence is a
+	// clean DNF: Check returns a Result with Gathered == false and a nil
+	// error. Safety — agreement plus the non-FSYNCOnly invariants — is
+	// asserted either way, every round.
+	Sched sched.Config
 }
 
-// Result summarises a successful conformance check.
+// Result summarises a conformance check that found no divergence.
 type Result struct {
 	Rounds      int
 	InitialLen  int
 	FinalLen    int
 	TotalMerges int
+	// Gathered reports whether the configuration gathered within the round
+	// budget. Always true on a nil-error FSYNC check (not gathering in
+	// time is a liveness divergence there); under non-FSYNC schedulers a
+	// false value is a DNF, not a failure.
+	Gathered bool
 }
 
 // Check steps the fast engine (internal/core on the SoA chain) and the
@@ -80,13 +101,23 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 	if err != nil {
 		return res, err
 	}
+	schd, err := sched.New(opts.Sched)
+	if err != nil {
+		return res, err
+	}
+	fullySync := schd.FullySync()
 
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
-		if cfg.DisableRunStarts || cfg.SequentialRuns {
-			// The theorem assumes the full pipeline; the ablations get the
-			// simulator's generous liveness watchdog instead.
+		if cfg.DisableRunStarts || cfg.SequentialRuns || !fullySync {
+			// The theorem assumes the full FSYNC pipeline; the ablations and
+			// the relaxed activation models get the simulator's generous
+			// liveness watchdog instead, scaled by the inverse activation
+			// rate for non-FSYNC schedulers.
 			maxRounds = 60*len(positions) + 400
+			if rate := schd.MinActivationRate(len(positions)); rate > 0 && rate < 1 {
+				maxRounds = int(math.Ceil(float64(maxRounds) / rate))
+			}
 		} else {
 			maxRounds = Theorem1Cap(alg.Config(), len(positions))
 		}
@@ -95,6 +126,15 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 	if battery == nil {
 		battery = Battery()
 	}
+	if !fullySync {
+		kept := make([]Invariant, 0, len(battery))
+		for _, inv := range battery {
+			if !inv.FSYNCOnly {
+				kept = append(kept, inv)
+			}
+		}
+		battery = kept
+	}
 	st := &RoundState{
 		Chain:          alg.Chain(),
 		Cfg:            alg.Config(), // post-Validate (MaxMergeLen clamped)
@@ -102,6 +142,7 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 		LastMergeRound: -1,
 	}
 
+	var activeBuf []bool
 	for round := 0; ; round++ {
 		eg, mg := alg.Gathered(), model.Gathered()
 		if eg != mg {
@@ -111,17 +152,39 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 		if eg {
 			res.Rounds = round
 			res.FinalLen = alg.Chain().Len()
+			res.Gathered = true
 			return res, nil
 		}
 		if round >= maxRounds {
+			if !fullySync {
+				// Theorem 1 is FSYNC-only: exhausting the watchdog without a
+				// divergence is a DNF result, not a conformance failure.
+				res.Rounds = round
+				res.FinalLen = alg.Chain().Len()
+				return res, nil
+			}
 			return res, &Divergence{Round: round, Field: "liveness",
 				Engine: fmt.Sprintf("not gathered after %d rounds (n=%d, %d robots left)",
 					round, res.InitialLen, alg.Chain().Len())}
 		}
 
+		// One scheduler, one activation set, both backends: the lockstep
+		// compares the engine and the model on identical rounds, never the
+		// scheduler against itself.
+		var active []bool
+		if !fullySync {
+			n := alg.Chain().Len()
+			if cap(activeBuf) < n {
+				activeBuf = make([]bool, n)
+			}
+			activeBuf = activeBuf[:n]
+			schd.Activate(round, activeBuf)
+			active = activeBuf
+		}
+
 		st.PrevBounds = alg.Chain().Bounds()
-		eRep, eErr := alg.Step()
-		mRep, mErr := model.Step()
+		eRep, eErr := alg.StepActivated(active)
+		mRep, mErr := model.StepActivated(active)
 		if eErr != nil || mErr != nil {
 			if (eErr == nil) != (mErr == nil) {
 				return res, &Divergence{Round: round, Field: "step-error",

@@ -1,22 +1,14 @@
-// Package sim drives the core algorithm round by round: it owns the
-// watchdog that operationalises Theorem 1 (gathering must finish in O(n)
-// rounds), the per-round safety invariant checks, aggregate metrics, and
-// observer hooks used by tracing and by the experiment harness.
-//
-// Concurrency contract: an Engine (and the chain plus core.Algorithm it
-// owns) is confined to one goroutine, and the package keeps no mutable
-// package-level state — so independent engines may run concurrently
-// without synchronisation. The experiment harness relies on this: its
-// worker pool (internal/parallel) runs one engine per task.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"gridgather/internal/chain"
 	"gridgather/internal/core"
 	"gridgather/internal/grid"
+	"gridgather/internal/sched"
 )
 
 // Default watchdog parameters. Theorem 1 bounds gathering by 2nL + n
@@ -44,6 +36,13 @@ type Options struct {
 	CheckInvariants bool
 	// Observer, when non-nil, is invoked after every round.
 	Observer Observer
+	// Sched selects the activation model (internal/sched): which robots
+	// perform their look–compute–move cycle in which round. The zero
+	// value is FSYNC — every robot every round, the paper's model — and
+	// keeps the engine on its byte-identical fast path. Non-FSYNC
+	// schedulers scale the default watchdog limit by the inverse of the
+	// scheduler's minimum activation rate.
+	Sched sched.Config
 }
 
 // Observer receives the chain state after each executed round. The chain
@@ -111,6 +110,11 @@ type Engine struct {
 	res     Result
 	tracker *pairTracker
 
+	// sched is the activation model; activeBuf is the per-round activation
+	// set it fills (nil-passed to the algorithm on the FSYNC fast path).
+	sched     sched.Scheduler
+	activeBuf []bool
+
 	mergeGap int
 	// prevPos and occupancy are per-round scratch for the invariant
 	// checks: flat per-handle tables with O(1) generation clearing
@@ -131,11 +135,15 @@ func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
 	if opts.WatchdogSlack <= 0 {
 		opts.WatchdogSlack = DefaultWatchdogSlack
 	}
+	schd, err := sched.New(opts.Sched)
+	if err != nil {
+		return nil, err
+	}
 	alg, err := core.New(ch, opts.Config)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{alg: alg, opts: opts, tracker: newPairTracker(opts.Config.RunPeriod)}
+	e := &Engine{alg: alg, opts: opts, sched: schd, tracker: newPairTracker(opts.Config.RunPeriod)}
 	e.res = Result{
 		InitialLen:      ch.Len(),
 		InitialDiameter: ch.Diameter(),
@@ -154,12 +162,26 @@ func (e *Engine) Chain() *chain.Chain { return e.alg.Chain() }
 // Result returns the accounting so far.
 func (e *Engine) Result() Result { return e.res }
 
-// limit returns the watchdog bound for this simulation.
+// Limit returns the watchdog round limit in force for this engine: the
+// MaxRounds override when set, otherwise the default budget scaled by the
+// scheduler's inverse activation rate.
+func (e *Engine) Limit() int { return e.limit() }
+
+// limit returns the watchdog bound for this simulation. Under a non-FSYNC
+// scheduler the FSYNC budget is scaled by the inverse of the scheduler's
+// minimum activation rate: a robot activated every k-th round can need k
+// times the rounds for the same progress.
 func (e *Engine) limit() int {
 	if e.opts.MaxRounds > 0 {
 		return e.opts.MaxRounds
 	}
-	return e.opts.WatchdogFactor*e.res.InitialLen + e.opts.WatchdogSlack
+	base := e.opts.WatchdogFactor*e.res.InitialLen + e.opts.WatchdogSlack
+	if e.sched != nil && !e.sched.FullySync() {
+		if rate := e.sched.MinActivationRate(e.res.InitialLen); rate > 0 && rate < 1 {
+			base = int(math.Ceil(float64(base) / rate))
+		}
+	}
+	return base
 }
 
 // Step executes one round. It returns true while the simulation should
@@ -177,7 +199,7 @@ func (e *Engine) Step() (bool, error) {
 		e.snapshotPositions()
 	}
 	lenBefore := e.Chain().Len()
-	rep, err := e.alg.Step()
+	rep, err := e.alg.StepActivated(e.activate())
 	if err != nil {
 		return false, err
 	}
@@ -246,6 +268,22 @@ func (e *Engine) account(rep core.RoundReport) {
 		e.res.MaxActiveRuns = rep.ActiveRuns
 	}
 	e.res.Anomalies.Add(rep.Anomalies)
+}
+
+// activate asks the scheduler for this round's activation set, reusing the
+// engine's buffer. The FSYNC fast path returns nil: the algorithm then
+// takes its pre-scheduler code path unchanged (and allocation-free).
+func (e *Engine) activate() []bool {
+	if e.sched == nil || e.sched.FullySync() {
+		return nil
+	}
+	n := e.Chain().Len()
+	if cap(e.activeBuf) < n {
+		e.activeBuf = make([]bool, n)
+	}
+	e.activeBuf = e.activeBuf[:n]
+	e.sched.Activate(e.alg.Round(), e.activeBuf)
+	return e.activeBuf
 }
 
 func (e *Engine) snapshotPositions() {

@@ -1,6 +1,3 @@
-// Package trace records simulation runs round by round and renders them as
-// ASCII frames (for the CLI and debugging) or SVG (for figures). It plugs
-// into the engine through the sim.Observer interface.
 package trace
 
 import (

@@ -1,19 +1,3 @@
-// Package view implements the robots' restricted local vision.
-//
-// In the paper each robot sees only the subchain of its next V = 11 chain
-// neighbours in both directions (the "viewing path length"), as relative
-// positions, plus the run states those neighbours carry (run-state
-// visibility along the chain is what the paper's termination condition
-// "it can see the next sequent run in front of it" relies on).
-//
-// A Snapshot is a window onto the chain centred at one robot. It engineers
-// the locality discipline: any attempt to look past the viewing path length
-// panics, so unit tests immediately catch rules that are not local.
-// Snapshots expose relative positions only; absolute coordinates and robot
-// identities are not part of the observable interface used by decision
-// rules (the Robot accessor exists solely for the engine's bookkeeping of
-// run ownership, which stands in for a robot tracking a neighbour one step
-// away — see DESIGN.md §3.5).
 package view
 
 import (
