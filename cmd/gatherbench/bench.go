@@ -23,9 +23,16 @@ func pinnedBenchmarks(label string) (*benchio.Report, error) {
 	}{
 		{"Theorem1GatherSquare/n=512", benchdefs.GatherSquare512},
 		{"Theorem1GatherSquare/n=4096", benchdefs.GatherSquare4096},
+		{"Theorem1GatherSquare/n=4096/workers=1", benchdefs.GatherSquareWorkers4096(1)},
+		{"Theorem1GatherSquare/n=4096/workers=4", benchdefs.GatherSquareWorkers4096(4)},
+		{"Theorem1GatherSquare/n=4096/workers=8", benchdefs.GatherSquareWorkers4096(8)},
+		{"Theorem1GatherSquare/n=65536", benchdefs.GatherSquare65536},
 		{"StepSquare/n=512", benchdefs.StepSquare512},
 		{"PlanMergesReuse/n=4096", benchdefs.PlanMergesReuse4096},
 		{"ResolveMergesSeeded/n=4096", benchdefs.ResolveMergesSeeded4096},
+		{"KernelMergeScan/n=4096", benchdefs.KernelMergeScan4096},
+		{"KernelDecide/n=4096", benchdefs.KernelDecide4096},
+		{"KernelStartScan/n=4096", benchdefs.KernelStartScan4096},
 		{"ParallelHarness/quickE1", benchdefs.ParallelHarnessQuickE1},
 	} {
 		r := testing.Benchmark(bench.fn)

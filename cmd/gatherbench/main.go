@@ -20,8 +20,8 @@
 // -bench-against compares a fresh measurement with a committed snapshot
 // and exits non-zero on staleness or an allocs/op regression (> 20%).
 //
-//	gatherbench -bench-out BENCH_PR3.json -bench-label PR3
-//	gatherbench -bench-against BENCH_PR3.json     # the CI bench-smoke gate
+//	gatherbench -bench-out BENCH_PR6.json -bench-label PR6
+//	gatherbench -bench-against BENCH_PR6.json     # the CI bench-smoke gate
 //
 // Perf investigations start from a profile, not a guess: -cpuprofile and
 // -memprofile capture pprof profiles of whichever mode runs (experiment
@@ -60,6 +60,7 @@ func gatherbenchMain() int {
 		csv       = flag.Bool("csv", false, "emit CSV instead of markdown")
 		out       = flag.String("out", "", "output file (default stdout)")
 		workers   = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS (results identical for any value)")
+		engWrk    = flag.Int("workers", 0, "phase-kernel workers inside every simulated engine (core chunked driver, DESIGN.md §9); 0 = sequential (results identical for any value)")
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler the suite's round simulations run under: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]; E9's structural probe and E12's global-vision baselines are scheduler-free, and E-sched sweeps its own axis regardless")
 
@@ -114,7 +115,7 @@ func gatherbenchMain() int {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		return 1
 	}
-	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Sched: schedCfg}
+	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, EngineWorkers: *engWrk, Sched: schedCfg}
 	for _, tok := range strings.Split(*sizes, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err == nil && v > 0 {

@@ -19,12 +19,19 @@
 // watchdog without divergence count as DNF in the summary, not as
 // failures.
 //
+// A worker count for the engine's chunked phase-kernel driver
+// (core.Config.Workers, DESIGN.md §9) is a fourth scenario axis: -workers
+// 0 (the default) draws 1–8 per scenario, any positive value pins it.
+// The naive model knows nothing about workers, so chunking artefacts
+// surface as lockstep divergences like any other engine bug.
+//
 // Usage:
 //
-//	gatherfuzz                          # 100k scenarios, all families, mixed schedulers
+//	gatherfuzz                          # 100k scenarios, all families, mixed schedulers and workers
 //	gatherfuzz -scenarios 1000000       # the million-chain campaign
 //	gatherfuzz -max-size 256 -seed 7    # smaller chains, different stream
 //	gatherfuzz -sched bounded:3         # one activation model for the whole run
+//	gatherfuzz -workers 4               # pin the chunked driver to 4 workers
 //	gatherfuzz -only 123456             # re-run one scenario index
 //
 // The summary on stdout is deterministic for a given flag set; timing and
@@ -60,12 +67,17 @@ func gatherfuzzMain() int {
 		workers   = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS")
 		only      = flag.Int("only", -1, "run only this scenario index (reproduce a failure)")
 		schedFlag = flag.String("sched", "mix", "activation scheduler: mix (draw per scenario from the fuzzing space), or one config (fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S])")
+		engWrk    = flag.Int("workers", 0, "engine phase-kernel workers per scenario: 0 = draw 1-8 per scenario, otherwise pin this count")
 		progress  = flag.Duration("progress", 10*time.Second, "progress interval on stderr (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
 	)
 	flag.Parse()
 	if *minSize < 4 || *maxSize < *minSize {
 		fmt.Fprintln(os.Stderr, "gatherfuzz: need 4 <= min-size <= max-size")
+		return 2
+	}
+	if *engWrk < 0 {
+		fmt.Fprintln(os.Stderr, "gatherfuzz: -workers must not be negative")
 		return 2
 	}
 	var forced *sched.Config
@@ -79,7 +91,7 @@ func gatherfuzzMain() int {
 	}
 
 	if *only >= 0 {
-		desc, err := runScenario(*seed, *only, *minSize, *maxSize, forced)
+		desc, err := runScenario(*seed, *only, *minSize, *maxSize, forced, *engWrk)
 		fmt.Printf("scenario %d: %s\n", *only, desc)
 		if err != nil {
 			fmt.Println(err)
@@ -118,7 +130,7 @@ func gatherfuzzMain() int {
 	}
 
 	err := parallel.ForEach(*workers, *scenarios, func(i int) error {
-		sc := makeScenario(*seed, i, *minSize, *maxSize, forced)
+		sc := makeScenario(*seed, i, *minSize, *maxSize, forced, *engWrk)
 		ch, err := sc.build()
 		if err != nil {
 			return fmt.Errorf("scenario %d (%s): generator failed: %w", i, sc.desc(), err)
@@ -129,8 +141,8 @@ func gatherfuzzMain() int {
 				_, serr := oracle.CheckWithOptions(sc.cfg(), c, oracle.Options{Sched: sc.schedCfg()})
 				return serr != nil
 			})
-			return fmt.Errorf("scenario %d (%s): %w\nreproduce: gatherfuzz -seed %d -min-size %d -max-size %d -sched %s -only %d\nshrunk witness:\n%s",
-				i, sc.desc(), err, *seed, *minSize, *maxSize, *schedFlag, i, oracle.FormatSeed(minimal))
+			return fmt.Errorf("scenario %d (%s): %w\nreproduce: gatherfuzz -seed %d -min-size %d -max-size %d -sched %s -workers %d -only %d\nshrunk witness:\n%s",
+				i, sc.desc(), err, *seed, *minSize, *maxSize, *schedFlag, *engWrk, i, oracle.FormatSeed(minimal))
 		}
 		if !res.Gathered {
 			dnf.Add(1)
@@ -156,8 +168,8 @@ func gatherfuzzMain() int {
 	}
 
 	elapsed := time.Since(start)
-	fmt.Printf("gatherfuzz: %d scenarios, %d families x %d configs x sched %s, sizes %d..%d, seed %d\n",
-		*scenarios, len(scenarioFamilies()), oracle.NumConfigs(), schedSpaceDesc(forced), *minSize, *maxSize, *seed)
+	fmt.Printf("gatherfuzz: %d scenarios, %d families x %d configs x sched %s x workers %s, sizes %d..%d, seed %d\n",
+		*scenarios, len(scenarioFamilies()), oracle.NumConfigs(), schedSpaceDesc(forced), workersSpaceDesc(*engWrk), *minSize, *maxSize, *seed)
 	fmt.Printf("divergences: 0\n")
 	fmt.Printf("gathered: %d, DNF within the non-FSYNC watchdog: %d\n",
 		done.Load()-dnf.Load(), dnf.Load())
@@ -189,29 +201,45 @@ func schedSpaceDesc(forced *sched.Config) string {
 	return fmt.Sprintf("mix(%d)", oracle.NumScheds())
 }
 
-// scenario is one fully derived (family, size, config, scheduler, seed)
-// cell.
+// workersSpaceDesc names the engine-workers axis in the deterministic
+// summary.
+func workersSpaceDesc(pinned int) string {
+	if pinned > 0 {
+		return fmt.Sprintf("%d", pinned)
+	}
+	return "mix(1-8)"
+}
+
+// scenario is one fully derived (family, size, config, scheduler,
+// workers, seed) cell.
 type scenario struct {
 	family   int
 	size     int
 	cfgSel   int
 	schedSel int
+	workers  int
 	forced   *sched.Config
 	rngSeed  int64
 }
 
 // makeScenario derives scenario i of the campaign. All randomness flows
 // from TaskSeed(base, 0, i): the campaign is a pure function of the base
-// seed (and the -sched override), and any cell can be reproduced alone.
-func makeScenario(base int64, i, minSize, maxSize int, forced *sched.Config) scenario {
+// seed (and the -sched / -workers overrides), and any cell can be
+// reproduced alone. The workers draw happens unconditionally so pinning
+// -workers changes only that axis, never the rest of the cell.
+func makeScenario(base int64, i, minSize, maxSize int, forced *sched.Config, pinnedWorkers int) scenario {
 	rng := rand.New(rand.NewSource(parallel.TaskSeed(base, 0, i)))
 	families := scenarioFamilies()
 	sc := scenario{
 		family:   rng.Intn(len(families)),
 		cfgSel:   rng.Intn(oracle.NumConfigs()),
 		schedSel: rng.Intn(oracle.NumScheds()),
+		workers:  1 + rng.Intn(8),
 		forced:   forced,
 		rngSeed:  rng.Int63(),
+	}
+	if pinnedWorkers > 0 {
+		sc.workers = pinnedWorkers
 	}
 	// Log-uniform size: most scenarios small (where shapes are degenerate
 	// and bugs shrink nicely), a steady tail up to max-size.
@@ -221,8 +249,12 @@ func makeScenario(base int64, i, minSize, maxSize int, forced *sched.Config) sce
 }
 
 // cfg maps the scenario's selector onto the shared fuzzing configuration
-// space.
-func (sc scenario) cfg() core.Config { return oracle.ConfigFromByte(uint8(sc.cfgSel)) }
+// space, with the chunked-driver worker count layered on top.
+func (sc scenario) cfg() core.Config {
+	cfg := oracle.ConfigFromByte(uint8(sc.cfgSel))
+	cfg.Workers = sc.workers
+	return cfg
+}
 
 // schedCfg is the scenario's activation model: the -sched override when
 // set, otherwise the cell's draw from the fuzzing scheduler space.
@@ -234,8 +266,8 @@ func (sc scenario) schedCfg() sched.Config {
 }
 
 func (sc scenario) desc() string {
-	return fmt.Sprintf("family=%s size=%d cfg=%d sched=%s seed=%d",
-		scenarioFamilies()[sc.family], sc.size, sc.cfgSel, sc.schedCfg(), sc.rngSeed)
+	return fmt.Sprintf("family=%s size=%d cfg=%d sched=%s workers=%d seed=%d",
+		scenarioFamilies()[sc.family], sc.size, sc.cfgSel, sc.schedCfg(), sc.workers, sc.rngSeed)
 }
 
 // build constructs the scenario's start configuration.
@@ -251,8 +283,8 @@ func (sc scenario) build() (*chain.Chain, error) {
 }
 
 // runScenario reproduces one scenario index in isolation (-only).
-func runScenario(base int64, i, minSize, maxSize int, forced *sched.Config) (string, error) {
-	sc := makeScenario(base, i, minSize, maxSize, forced)
+func runScenario(base int64, i, minSize, maxSize int, forced *sched.Config, pinnedWorkers int) (string, error) {
+	sc := makeScenario(base, i, minSize, maxSize, forced, pinnedWorkers)
 	ch, err := sc.build()
 	if err != nil {
 		return sc.desc(), err

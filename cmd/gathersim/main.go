@@ -62,6 +62,9 @@ Activation model (default: the paper's fully synchronous rounds):
 
 Execution and output:
   -check         per-round safety invariant checking (O(n)/round)
+  -workers P     phase-kernel workers of the engine's chunked driver
+                 (default 0 = sequential; DESIGN.md §9). A performance
+                 knob only: the simulation is byte-identical for every P
   -max-rounds N  override the liveness watchdog (default 0 = automatic:
                  %d*n+%d, scaled for non-FSYNC schedulers)
   -ascii N       print an ASCII frame every N rounds (default 0 = off)
@@ -95,6 +98,7 @@ func main() {
 		noRuns    = flag.Bool("merge-only", false, "disable runs (ablation)")
 		seqRuns   = flag.Bool("sequential", false, "disable pipelining (ablation)")
 		check     = flag.Bool("check", false, "enable per-round invariant checking")
+		workers   = flag.Int("workers", 0, "phase-kernel workers of the chunked driver (0 = sequential; byte-identical for every value)")
 		maxRounds = flag.Int("max-rounds", 0, "override the watchdog limit (0 = automatic)")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
 	)
@@ -121,6 +125,7 @@ func main() {
 		CheckInvariants: *check,
 		MaxRounds:       *maxRounds,
 		Sched:           schedCfg,
+		Workers:         *workers,
 	}
 	var rec *trace.Recorder
 	if *asciiEach > 0 {

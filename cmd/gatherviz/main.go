@@ -30,6 +30,7 @@ func main() {
 		svg       = flag.String("svg", "", "write an SVG overlay to this file instead of ASCII")
 		scale     = flag.Int("scale", 8, "SVG pixels per grid unit")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
+		workers   = flag.Int("workers", 0, "phase-kernel workers of the chunked driver (0 = sequential; frames identical for every value)")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	rec := trace.NewRecorder()
 	rec.Every = *every
 	rec.InitialFrame(ch)
-	res, err := sim.Gather(ch, sim.Options{Observer: rec, Sched: schedCfg})
+	res, err := sim.Gather(ch, sim.Options{Observer: rec, Sched: schedCfg, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -2,6 +2,7 @@ package benchdefs
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"gridgather/internal/chain"
@@ -75,7 +76,32 @@ func StepSquare512(b *testing.B) {
 // impractically slow to pin; with flat handle storage, O(1) splices and
 // the incremental bounding box it joins the committed trajectory.
 func GatherSquare4096(b *testing.B) {
-	ref, err := generate.Rectangle(1024, 1024) // boundary of 4*1024 = 4096 robots
+	gatherSquare(b, 1024, 0)
+}
+
+// GatherSquareWorkers4096 returns the n=4096 gathering benchmark pinned at
+// an explicit chunked-driver worker count (core.Config.Workers via
+// sim.Options, DESIGN.md §9). The trajectory records workers 1, 4 and 8;
+// the observable run is byte-identical across them, so only the timing
+// columns may differ.
+func GatherSquareWorkers4096(workers int) func(*testing.B) {
+	return func(b *testing.B) { gatherSquare(b, 1024, workers) }
+}
+
+// GatherSquare65536 is the scaling headline of the chunked phase-kernel
+// driver: the full gathering run on a 65536-robot square with one worker
+// per CPU. On a single-core machine it degenerates to the sequential
+// driver (the recorded trajectory notes the core count it ran on).
+func GatherSquare65536(b *testing.B) {
+	gatherSquare(b, 16384, runtime.NumCPU())
+}
+
+// gatherSquare is the shared body of the square-gather benchmarks: a full
+// run on the boundary of a side x side square (4*side robots), cloning the
+// reference chain per iteration, at the given chunked-driver worker count
+// (0 = the sequential default).
+func gatherSquare(b *testing.B, side, workers int) {
+	ref, err := generate.Rectangle(side, side)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -83,7 +109,7 @@ func GatherSquare4096(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Gather(ref.Clone(), sim.Options{})
+		res, err := sim.Gather(ref.Clone(), sim.Options{Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,6 +117,100 @@ func GatherSquare4096(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// KernelMergeScan4096 measures the merge-scan phase kernel alone
+// (core.Algorithm.KernelMergeScan, DESIGN.md §9) over the full [0, n)
+// range of a 4096-robot tangled walk — the same workload as
+// PlanMergesReuse, minus the sequential plan tail. Steady state allocates
+// nothing.
+func KernelMergeScan4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ch, err := generate.RandomClosedWalk(4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.New(ch, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := alg.Chain().Len()
+	alg.Chain().Handles() // materialise the ring order, as the driver would
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.KernelMergeScan(0, 0, n)
+	}
+}
+
+// KernelDecide4096 measures the run-decision kernel over the live run
+// registry of a 4096-robot square that has stepped past its first
+// run-start round: each op recomputes every run's Table 1 decision against
+// the frozen look-phase state.
+func KernelDecide4096(b *testing.B) {
+	alg := steppedSquare4096(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.KernelDecide(0, 0, len(alg.Runs()))
+	}
+}
+
+// KernelStartScan4096 measures the Fig 5 run-start scan kernel over all
+// 4096 chain indices of a fresh square (the L-th-round full sweep).
+func KernelStartScan4096(b *testing.B) {
+	ch, err := generate.Rectangle(1024, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.New(ch, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := alg.Chain().Len()
+	alg.Chain().Handles()
+	alg.KernelMergeScan(0, 0, n)
+	if err := alg.CombineMergePlan(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.KernelStartScan(0, 0, n)
+	}
+}
+
+// steppedSquare4096 builds the KernelDecide workload: the 4096 square
+// stepped through its first run-start generation, with the look-phase
+// state (ring order, merge plan) refreshed so the kernel reads a
+// consistent round.
+func steppedSquare4096(b *testing.B) *core.Algorithm {
+	b.Helper()
+	ch, err := generate.Rectangle(1024, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.New(ch, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Step past the second L=13 start round, with one quiet round after it
+	// so no run still carries its just-started flag into the kernel calls.
+	for r := 0; r < 15; r++ {
+		if _, err := alg.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(alg.Runs()) == 0 {
+		b.Fatal("stepped square has no live runs to decide")
+	}
+	n := alg.Chain().Len()
+	alg.Chain().Handles()
+	alg.KernelMergeScan(0, 0, n)
+	if err := alg.CombineMergePlan(); err != nil {
+		b.Fatal(err)
+	}
+	return alg
 }
 
 // ResolveMergesSeeded4096 measures large-n merge resolution through the

@@ -9,4 +9,11 @@
 // length V = 11; see DESIGN.md §3 for the reconstruction notes and the few
 // interpretation decisions taken where the paper's figures under-determine
 // a detail.
+//
+// Each round executes as a sequence of phase kernels over half-open
+// handle ranges (KernelMergeScan, KernelDecide, KernelStartScan, then the
+// internal move/resolve/apply kernels), fanned across Config.Workers
+// goroutines with a deterministic chunk-order reduction — the simulation
+// is byte-identical for every worker count. DESIGN.md §9 states the
+// ownership and seam rules each kernel obeys.
 package core

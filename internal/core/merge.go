@@ -176,6 +176,15 @@ func (plan *MergePlan) Plan(ch *chain.Chain, maxLen int) error {
 func (plan *MergePlan) plan(ch *chain.Chain, maxLen int, spikePriority bool) error {
 	plan.edgeRuns = ch.AppendEdgeRuns(plan.edgeRuns[:0])
 	plan.Patterns = appendMergePatterns(plan.Patterns[:0], ch, maxLen, plan.edgeRuns)
+	return plan.finish(ch, spikePriority)
+}
+
+// finish turns the detected plan.Patterns into the executable plan:
+// spike-priority suppression, the participant set, and the combined
+// per-robot hops. It is the sequential tail shared by the one-shot
+// detection above and the engine's chunked detection kernels
+// (Algorithm.CombineMergePlan), which fill plan.Patterns themselves.
+func (plan *MergePlan) finish(ch *chain.Chain, spikePriority bool) error {
 	plan.Executing = plan.Executing[:0]
 	plan.Suppressed = 0
 	nh := ch.NumHandles()

@@ -47,8 +47,11 @@ func passBudgetFor(cfg Config) int { return 2 * cfg.ViewingPathLength }
 // computeRunDecision evaluates the paper's per-round runner rule (Fig 15,
 // step 2) for a single run: first the termination conditions of Table 1,
 // then run passing (continuation or trigger), then the traverse operations
-// (b)/(c), then the reshapement operation (a).
-func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
+// (b)/(c), then the reshapement operation (a). loc and an are the calling
+// worker's private snapshot locator and anomaly counters (kernels.go): the
+// rule itself only reads shared round state, so chunks may evaluate it
+// concurrently.
+func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan, loc view.RunLocator, an *Anomalies) runDecision {
 	d := runDecision{
 		run:             run,
 		mergeRobot:      -1,
@@ -65,7 +68,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 		d.terminate, d.reason = true, TermHostRemoved
 		return d
 	}
-	s := view.At(a.ch, idx, a.cfg.ViewingPathLength, a)
+	s := view.At(a.ch, idx, a.cfg.ViewingPathLength, loc)
 	dir := run.Dir
 	scanMax := min(a.cfg.ViewingPathLength, a.ch.Len()-1)
 
@@ -178,7 +181,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 	if !cornerAt(s, dir) {
 		// A run should only stand mid-segment transiently; advance without
 		// hopping and let the structure ahead decide its fate.
-		a.anomalies.NotOnCorner++
+		an.NotOnCorner++
 		return d
 	}
 	switch sa := s.AlignedAhead(dir); {
@@ -198,7 +201,7 @@ func (a *Algorithm) computeRunDecision(run *Run, plan *MergePlan) runDecision {
 	default:
 		// The segment ahead is shorter than any operation handles; the
 		// structure is about to resolve via a merge or condition 2.
-		a.anomalies.ShortAhead++
+		an.ShortAhead++
 	}
 	return d
 }

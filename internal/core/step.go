@@ -5,6 +5,7 @@ import (
 
 	"gridgather/internal/chain"
 	"gridgather/internal/grid"
+	"gridgather/internal/parallel"
 	"gridgather/internal/view"
 )
 
@@ -50,6 +51,7 @@ type stepScratch struct {
 	runnerHop   chain.Scratch[struct{}]
 	survivorOf  chain.Scratch[chain.Handle]
 	moved       []chain.Handle
+	alive       []*Run
 	pairKey     map[[2]int]int
 	runViews    []view.RunView
 	starts      []StartEvent
@@ -82,6 +84,25 @@ type Algorithm struct {
 	// anomalies accumulates defensive-path counts for the current round;
 	// Step moves them into the report.
 	anomalies Anomalies
+
+	// workers holds the per-chunk kernel state (always at least one
+	// entry); pool is the persistent goroutine pool fanning the look-phase
+	// kernels out when cfg.Workers >= 2, nil on the sequential path. See
+	// kernels.go and DESIGN.md §9.
+	workers []workerCtx
+	pool    *parallel.Pool
+
+	// active is the current round's activation set (nil = FSYNC), stored
+	// so the chunked kernels can consult it without threading a parameter
+	// through the pool.
+	active []bool
+
+	// Kernel closures bound once at construction, so the per-round
+	// fan-out dispatches stored func values instead of allocating method
+	// bindings.
+	kMergeScan func(worker, lo, hi int)
+	kDecide    func(worker, lo, hi int)
+	kStartScan func(worker, lo, hi int)
 }
 
 // New creates an Algorithm for the chain with the given configuration.
@@ -103,6 +124,17 @@ func New(ch *chain.Chain, cfg Config) (*Algorithm, error) {
 	}
 	// Size the per-handle tables once; every later Reset is O(1).
 	a.byHandle.Reset(ch.NumHandles())
+	p := max(cfg.Workers, 1)
+	a.workers = make([]workerCtx, p)
+	for i := range a.workers {
+		a.workers[i].loc.a = a
+	}
+	if p > 1 {
+		a.pool = parallel.NewPool(p)
+	}
+	a.kMergeScan = a.KernelMergeScan
+	a.kDecide = a.KernelDecide
+	a.kStartScan = a.KernelStartScan
 	return a, nil
 }
 
@@ -125,21 +157,11 @@ func (a *Algorithm) Runs() []*Run { return a.runs }
 // is a shared scratch buffer, valid until the next RunsOn call; the view
 // predicates (HasRunTowards/HasRunAway) consume it immediately.
 func (a *Algorithm) RunsOn(h chain.Handle) []view.RunView {
-	hr, ok := a.byHandle.Get(h)
-	if !ok || hr.n == 0 {
+	a.scratch.runViews = appendRunViews(&a.byHandle, h, a.scratch.runViews[:0])
+	if len(a.scratch.runViews) == 0 {
 		return nil
 	}
-	out := a.scratch.runViews[:0]
-	for _, run := range hr.stored() {
-		if !run.justStarted {
-			out = append(out, view.RunView{Dir: run.Dir})
-		}
-	}
-	a.scratch.runViews = out
-	if len(out) == 0 {
-		return nil
-	}
-	return out
+	return a.scratch.runViews
 }
 
 // Gathered reports whether the configuration satisfies the termination
@@ -281,13 +303,22 @@ func (a *Algorithm) StepActivated(active []bool) (RoundReport, error) {
 		return rep, fmt.Errorf("core: activation set has %d entries for %d robots", len(active), a.ch.Len())
 	}
 	a.anomalies = Anomalies{}
+	a.active = active
 	sc := &a.scratch
 	nh := a.ch.NumHandles()
+	n := a.ch.Len()
+	// Materialise the lazy ring-order cache before any fan-out: the
+	// look-phase kernels read it lock-free, so the one mutation it hides
+	// (reindex) must happen here, on the driver.
+	a.ch.Handles()
 
 	// ---- Look & compute -------------------------------------------------
 	// 1. Merge patterns (Fig 15 step 1). Participants suspend run
-	//    operations; blacks hop towards the whites.
-	if err := a.plan.plan(a.ch, a.cfg.MaxMergeLen, a.fault != FaultSkipSpikePriority); err != nil {
+	//    operations; blacks hop towards the whites. Each chunk detects the
+	//    patterns starting inside it (reads may cross the seam, writes
+	//    never do); the combine folds them in chunk order.
+	a.forEachChunk(n, a.kMergeScan)
+	if err := a.CombineMergePlan(); err != nil {
 		return rep, err
 	}
 	plan := a.plan
@@ -300,46 +331,29 @@ func (a *Algorithm) StepActivated(active []bool) (RoundReport, error) {
 	for _, run := range a.runs {
 		run.justStarted = false
 	}
+	a.forEachChunk(len(a.runs), a.kDecide)
 	decisions := sc.decisions[:0]
-	for _, run := range a.runs {
-		if !activeAt(active, a.ch.IndexOf(run.Host)) {
-			decisions = append(decisions, runDecision{run: run, frozen: true})
-			continue
-		}
-		decisions = append(decisions, a.computeRunDecision(run, plan))
+	for i := range a.workers {
+		decisions = append(decisions, a.workers[i].decisions...)
+		a.anomalies.Add(a.workers[i].anomalies)
 	}
 	sc.decisions = decisions
 
 	// 3. Run starts (Fig 15 step 3): every L-th round, robots matching the
-	//    Fig 5 patterns start runs, unless they take part in a merge.
+	//    Fig 5 patterns start runs, unless they take part in a merge. The
+	//    pending lists and start hops combine in chunk order, reproducing
+	//    the sequential chain-order scan.
 	pending := sc.pending[:0]
 	sc.startHops.Reset(nh)
 	if !a.cfg.DisableRunStarts &&
-		a.round%a.cfg.RunPeriod == 0 && a.ch.Len() >= MinChainForRuns &&
+		a.round%a.cfg.RunPeriod == 0 && n >= MinChainForRuns &&
 		(!a.cfg.SequentialRuns || len(a.runs) == 0) {
-		for i := 0; i < a.ch.Len(); i++ {
-			if !activeAt(active, i) {
-				continue // sleeping robots look at nothing and start nothing
-			}
-			r := a.ch.At(i)
-			if plan.Participant(r) {
-				continue
-			}
-			s := view.At(a.ch, i, a.cfg.ViewingPathLength, a)
-			spec, ok := DetectStart(s)
-			if !ok {
-				continue
-			}
-			if hr, _ := a.byHandle.Get(r); hr.n+len(spec.Dirs) > 2 {
-				continue // a robot stores at most two run states
-			}
-			for _, dir := range spec.Dirs {
-				pending = append(pending, pendingStart{
-					robot: r, idx: i, dir: dir, kind: spec.Kind, pair: -1,
-				})
-			}
-			if !spec.Hop.IsZero() {
-				sc.startHops.Set(r, spec.Hop)
+		a.forEachChunk(n, a.kStartScan)
+		for i := range a.workers {
+			w := &a.workers[i]
+			pending = append(pending, w.pending...)
+			for _, sh := range w.startHops {
+				sc.startHops.Set(sh.robot, sh.hop)
 			}
 		}
 		a.pairStarts(pending)
@@ -495,34 +509,20 @@ func (a *Algorithm) StepActivated(active []bool) (RoundReport, error) {
 			}
 		}
 	}
-	moved := sc.moved[:0]
-	for _, r := range sc.hops.Keys() {
-		h, ok := sc.hops.Get(r)
-		if !ok {
-			continue // suppressed by a hop conflict above
-		}
-		if !h.IsKingStep() {
-			return rep, fmt.Errorf("core: robot %d would hop %v (not a king step)", a.ch.ID(r), h)
-		}
-		a.ch.MoveBy(r, h)
-		moved = append(moved, r)
+	sc.moved = sc.moved[:0]
+	if err := a.kernelMove(0, len(sc.hops.Keys())); err != nil {
+		return rep, err
 	}
-	sc.moved = moved
 	// Only edges incident to a moved robot can have changed; checking those
 	// is equivalent to the full CheckEdges sweep at O(#moved) cost.
-	if err := a.ch.CheckEdgesAround(moved); err != nil {
+	if err := a.ch.CheckEdgesAround(sc.moved); err != nil {
 		return rep, fmt.Errorf("core: chain broke in round %d: %w", a.round, err)
 	}
 
 	// ---- Merge resolution ------------------------------------------------
-	// Co-location requires a mover, so resolving around the robots that
-	// hopped this round finds every merge in O(#moved + #merges) without
-	// rescanning the ring.
-	events := sc.mergeEvents[:0]
-	if a.fault != FaultSkipMergeResolution {
-		events = a.ch.AppendResolveMergesAround(events, moved)
-	}
-	sc.mergeEvents = events
+	sc.mergeEvents = sc.mergeEvents[:0]
+	a.kernelResolveMerges(0, len(sc.moved))
+	events := sc.mergeEvents
 	rep.MergeEvents = events
 	sc.survivorOf.Reset(nh)
 	for _, ev := range events {
@@ -530,67 +530,11 @@ func (a *Algorithm) StepActivated(active []bool) (RoundReport, error) {
 	}
 
 	// ---- Apply run decisions ----------------------------------------------
-	ends := sc.ends[:0]
-	alive := a.runs[:0]
-	for i := range decisions {
-		d := &decisions[i]
-		run := d.run
-		if d.frozen {
-			// A sleeping host freezes its runs in place. The host may still
-			// have been removed by a merge an active neighbour completed —
-			// follow the survivor links like an advance would.
-			if !a.ch.Contains(run.Host) {
-				host := a.resolveAlive(run.Host, len(events))
-				if host == chain.None {
-					ends = append(ends, EndEvent{
-						RunID: run.ID, Reason: TermHostRemoved,
-						RobotID: a.ch.ID(run.Host), MergeRobot: -1,
-					})
-					a.anomalies.LostAdvance++
-					continue
-				}
-				run.Host = host
-			}
-			alive = append(alive, run)
-			continue
-		}
-		if d.terminate {
-			ends = append(ends, EndEvent{
-				RunID: run.ID, Reason: d.reason,
-				RobotID: a.ch.ID(run.Host), MergeRobot: d.mergeRobot,
-			})
-			if d.reason == TermStuck {
-				a.anomalies.StuckRuns++
-			}
-			continue
-		}
-		next := a.resolveAlive(d.advanceTo, len(events))
-		if next == chain.None {
-			ends = append(ends, EndEvent{
-				RunID: run.ID, Reason: TermStuck,
-				RobotID: a.ch.ID(run.Host), MergeRobot: -1,
-			})
-			a.anomalies.LostAdvance++
-			continue
-		}
-		run.Host = next
-		run.Mode = d.newMode
-		run.TraverseLeft = d.newTraverseLeft
-		run.OpOrigin = d.newOpOrigin
-		run.OpTarget = d.newOpTarget
-		run.PassTarget = d.newPassTarget
-		run.PassBudget = d.newPassBudget
-		if run.Mode == ModePassing && run.Host == run.PassTarget {
-			// Arrived at the passing target corner: resume normal
-			// operation (Fig 8 "afterwards, they return to normal").
-			run.Mode = ModeNormal
-			run.PassTarget = chain.None
-			run.PassBudget = 0
-		}
-		alive = append(alive, run)
-	}
-	a.runs = alive
-	sc.ends = ends
+	sc.ends = sc.ends[:0]
+	sc.alive = a.runs[:0]
+	a.kernelApply(0, len(sc.decisions), len(events))
+	a.runs = sc.alive
+	ends := sc.ends
 	rep.Ends = ends
 
 	// Materialise run starts. The starting robots never take part in a

@@ -31,6 +31,12 @@ type Params struct {
 	// GOMAXPROCS. Results are identical for every value (the determinism
 	// contract of internal/parallel).
 	Parallel int
+	// EngineWorkers is the intra-round worker count of every simulated
+	// engine (the core phase kernels, DESIGN.md §9); 0 and 1 select the
+	// sequential driver. Like Parallel it is a pure performance knob: the
+	// rendered tables are byte-identical for every value, pinned by
+	// TestEngineWorkersDeterminism.
+	EngineWorkers int
 	// Sched is the activation model the suite's round simulations run
 	// under (internal/sched; zero value = FSYNC, the paper's model and the
 	// recorded EXPERIMENTS.md setting). It applies to every experiment
@@ -44,14 +50,18 @@ type Params struct {
 }
 
 // gatherOpts returns the sim options of a suite simulation: the suite-wide
-// activation model plus any per-experiment extras the caller sets.
-func (p Params) gatherOpts() sim.Options { return sim.Options{Sched: p.Sched} }
+// activation model and engine worker count plus any per-experiment extras
+// the caller sets.
+func (p Params) gatherOpts() sim.Options {
+	return sim.Options{Sched: p.Sched, Workers: p.EngineWorkers}
+}
 
-// withSched stamps the suite-wide activation model onto options built by
-// the ablation presets (baseline.*Options), which know nothing about
-// schedulers.
+// withSched stamps the suite-wide activation model and engine worker count
+// onto options built by the ablation presets (baseline.*Options), which
+// know nothing about either.
 func (p Params) withSched(opts sim.Options) sim.Options {
 	opts.Sched = p.Sched
+	opts.Workers = p.EngineWorkers
 	return opts
 }
 

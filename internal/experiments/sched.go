@@ -58,7 +58,7 @@ func runSchedCell(p Params, shape string, sc sched.Config, rng *rand.Rand) (sche
 		sc.Seed = rng.Int63()
 	}
 	n := ch.Len()
-	res, err := sim.Gather(ch, sim.Options{Sched: sc})
+	res, err := sim.Gather(ch, sim.Options{Sched: sc, Workers: p.EngineWorkers})
 	if err != nil {
 		if errors.Is(err, sim.ErrWatchdog) {
 			return schedSample{n: n, rounds: res.Rounds, gathered: false}, nil

@@ -24,23 +24,27 @@ const fuzzMaxSteps = 512
 const fuzzMaxStepsSched = 192
 
 // FuzzEngineVsOracle decodes arbitrary bytes into a valid closed chain
-// (generate.FromBytes), picks a configuration from the ablation space and
-// an activation scheduler from the scheduler space, and runs the fast
-// engine against the naive model in lockstep on one shared activation
-// set. Scheduler selector 0 is FSYNC, so legacy corpus entries keep their
-// meaning. On a divergence the failing chain is shrunk (under the same
-// config and scheduler) and printed as a ready-to-paste seed.
+// (generate.FromBytes), picks a configuration from the ablation space, an
+// activation scheduler from the scheduler space, and a worker count (1–8,
+// the chunked phase-kernel driver) from the workers byte, and runs the
+// fast engine against the naive model in lockstep on one shared
+// activation set. Scheduler selector 0 is FSYNC and workers selector 0 is
+// the sequential driver, so legacy corpus entries keep their meaning. The
+// model knows nothing about workers — any chunking artefact (a seam-split
+// merge, a mis-combined buffer) surfaces as a lockstep divergence. On a
+// divergence the failing chain is shrunk (under the same config, scheduler
+// and worker count) and printed as a ready-to-paste seed.
 func FuzzEngineVsOracle(f *testing.F) {
 	rng := rand.New(rand.NewSource(61))
 	for i, name := range generate.Names() {
 		if ch, err := generate.Named(name, 16, rng); err == nil {
-			f.Add(generate.ToBytes(ch), uint8(0), uint8(0))
-			// One non-FSYNC seed per family so the mutator starts with the
-			// scheduler axis already open.
-			f.Add(generate.ToBytes(ch), uint8(i), uint8(1+i%(oracle.NumScheds()-1)))
+			f.Add(generate.ToBytes(ch), uint8(0), uint8(0), uint8(0))
+			// One non-FSYNC, multi-worker seed per family so the mutator
+			// starts with the scheduler and workers axes already open.
+			f.Add(generate.ToBytes(ch), uint8(i), uint8(1+i%(oracle.NumScheds()-1)), uint8(i%8))
 		}
 	}
-	f.Fuzz(func(t *testing.T, data []byte, cfgSel, schedSel uint8) {
+	f.Fuzz(func(t *testing.T, data []byte, cfgSel, schedSel, wrkSel uint8) {
 		opts := oracle.Options{Sched: oracle.SchedFromByte(schedSel)}
 		maxSteps := fuzzMaxSteps
 		if opts.Sched.Kind != sched.FSYNC {
@@ -54,6 +58,7 @@ func FuzzEngineVsOracle(f *testing.F) {
 			t.Skip() // only the empty input
 		}
 		cfg := oracle.ConfigFromByte(cfgSel)
+		cfg.Workers = 1 + int(wrkSel)%8
 		if _, err := oracle.CheckWithOptions(cfg, ch, opts); err != nil {
 			minimal := oracle.Shrink(ch.Positions(), func(c *chain.Chain) bool {
 				_, serr := oracle.CheckWithOptions(cfg, c, opts)

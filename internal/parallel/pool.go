@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// poolTask is one chunk dispatch: fn applied to the half-open range
+// [lo, hi) on behalf of worker index worker. The wait group belongs to the
+// Run call that dispatched the task.
+type poolTask struct {
+	fn     func(worker, lo, hi int)
+	worker int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// Pool is a fixed set of persistent worker goroutines for phase-kernel
+// fan-out (the engine's chunked round driver, DESIGN.md §9). Unlike ForEach
+// — which spins up goroutines per call and hands out work by single index —
+// a Pool is built once, keeps its goroutines parked on a channel between
+// rounds, and dispatches contiguous index ranges: Run(n, fn) splits [0, n)
+// into exactly P chunks, chunk w = [w*n/P, (w+1)*n/P), and invokes
+// fn(w, lo, hi) for every w, including empty chunks when n < P. The chunk
+// boundaries are a pure function of (n, P), so callers that combine
+// per-chunk results in chunk-index order get byte-identical output for any
+// scheduling of the workers.
+//
+// The steady-state Run call performs no allocations: tasks travel by value
+// through a buffered channel sized to the worker count, so dispatch never
+// blocks on a busy worker.
+//
+// A Pool is not reentrant: Run must not be called from two goroutines at
+// once, nor from inside a task. The engine owns its pool and steps
+// single-threaded, which satisfies both.
+type Pool struct {
+	workers int
+	tasks   chan poolTask
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPool starts workers goroutines (minimum 1) and returns the pool.
+// Callers should Close the pool when done with it; as a backstop a
+// finalizer closes it when the pool becomes unreachable, so owners with
+// unbounded lifetimes (one Algorithm per fuzz scenario, millions per
+// campaign) cannot leak goroutines.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan poolTask, workers)}
+	// The goroutines capture only the channel, never p itself — otherwise
+	// they would keep the pool reachable and the finalizer could never run.
+	tasks := p.tasks
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range tasks {
+				run(t)
+			}
+		}()
+	}
+	runtime.SetFinalizer(p, (*Pool).Close)
+	return p
+}
+
+// run executes one task, releasing its wait-group slot even when fn
+// panics (the panic then crashes the process like any unrecovered worker
+// panic, instead of deadlocking the dispatching Run call).
+func run(t poolTask) {
+	defer t.wg.Done()
+	t.fn(t.worker, t.lo, t.hi)
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run splits [0, n) into one contiguous chunk per worker and blocks until
+// fn has been applied to all of them. fn must be safe to call concurrently
+// for disjoint ranges and must treat its range as its only writable domain.
+func (p *Pool) Run(n int, fn func(worker, lo, hi int)) {
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.tasks <- poolTask{fn: fn, worker: w, lo: w * n / p.workers, hi: (w + 1) * n / p.workers, wg: &p.wg}
+	}
+	p.wg.Wait()
+}
+
+// Close stops the workers. It is idempotent and safe to call while no Run
+// is in flight; after Close, Run must not be called again.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+}

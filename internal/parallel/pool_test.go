@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolChunks verifies the chunk decomposition contract: exactly one
+// task per worker, contiguous half-open ranges covering [0, n), boundaries
+// a pure function of (n, P) — including empty chunks when n < P.
+func TestPoolChunks(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{0, 1}, {0, 4}, {1, 4}, {3, 4}, {4, 4}, {5, 4}, {17, 4}, {100, 8}, {7, 1},
+	}
+	for _, tc := range cases {
+		p := NewPool(tc.workers)
+		var mu atomic.Int64
+		seen := make([][2]int, tc.workers)
+		p.Run(tc.n, func(worker, lo, hi int) {
+			seen[worker] = [2]int{lo, hi}
+			mu.Add(int64(hi - lo))
+		})
+		p.Close()
+		if got := int(mu.Load()); got != tc.n {
+			t.Errorf("n=%d P=%d: covered %d indices", tc.n, tc.workers, got)
+		}
+		for w := 0; w < tc.workers; w++ {
+			wantLo, wantHi := w*tc.n/tc.workers, (w+1)*tc.n/tc.workers
+			if seen[w] != [2]int{wantLo, wantHi} {
+				t.Errorf("n=%d P=%d worker %d: chunk %v, want [%d,%d)", tc.n, tc.workers, w, seen[w], wantLo, wantHi)
+			}
+		}
+	}
+}
+
+// TestPoolReuse runs many rounds through one pool, checking every round
+// sees a complete fan-out (the persistent-worker steady state the engine
+// depends on).
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 1000; round++ {
+		p.Run(10, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				total.Add(1)
+			}
+		})
+	}
+	if got := total.Load(); got != 10000 {
+		t.Fatalf("covered %d indices over 1000 rounds, want 10000", got)
+	}
+}
+
+// TestPoolCloseIdempotent double-closes a pool.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}
+
+// TestPoolRunAllocs pins the steady-state dispatch at zero allocations —
+// the pool sits inside the engine's per-round hot path.
+func TestPoolRunAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(worker, lo, hi int) { sink.Add(int64(hi - lo)) }
+	p.Run(64, fn) // warm up
+	avg := testing.AllocsPerRun(100, func() { p.Run(64, fn) })
+	if avg > 0 {
+		t.Errorf("Pool.Run allocates %.1f times per call, want 0", avg)
+	}
+}

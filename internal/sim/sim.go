@@ -43,6 +43,13 @@ type Options struct {
 	// schedulers scale the default watchdog limit by the inverse of the
 	// scheduler's minimum activation rate.
 	Sched sched.Config
+	// Workers, when positive, overrides Config.Workers: the intra-round
+	// parallelism of the engine's phase kernels (core/kernels.go). The
+	// observable simulation is byte-identical for every value — workers
+	// change wall-clock, never behaviour — which the golden-trace battery
+	// pins at Workers ∈ {1,2,4,8}. It is applied after Config defaulting,
+	// so Options{Workers: 4} composes with the zero Config.
+	Workers int
 }
 
 // Observer receives the chain state after each executed round. The chain
@@ -128,6 +135,9 @@ type Engine struct {
 func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
 	if opts.Config == (core.Config{}) {
 		opts.Config = core.DefaultConfig()
+	}
+	if opts.Workers > 0 {
+		opts.Config.Workers = opts.Workers
 	}
 	if opts.WatchdogFactor <= 0 {
 		opts.WatchdogFactor = DefaultWatchdogFactor
