@@ -69,6 +69,27 @@ func BenchmarkTheorem1GatherSquare(b *testing.B) {
 	b.Run("n=65536", benchdefs.GatherSquare65536)
 }
 
+// BenchmarkLinTimeGatherSquare — the strategy arena's wall-clock axis
+// (experiment E-strat): the linear-time contraction strategy on the same
+// square rings as BenchmarkTheorem1GatherSquare. Rounds track the
+// diameter (side/2, i.e. n/8 on these rings) instead of ~n, so the rounds
+// metric separates sharply from the paper columns. The n=4096 size is
+// pinned in the bench trajectory via internal/benchdefs.
+func BenchmarkLinTimeGatherSquare(b *testing.B) {
+	for _, side := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", 4*side), func(b *testing.B) {
+			gatherBench(b, func() *gridgather.Chain {
+				ch, err := gridgather.Rectangle(side, side)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return ch
+			}, gridgather.Options{Strategy: gridgather.StrategyLinTime})
+		})
+	}
+	b.Run("n=4096", benchdefs.LinTimeGatherSquare4096)
+}
+
 // BenchmarkKernelMergeScan / BenchmarkKernelDecide /
 // BenchmarkKernelStartScan — the look-phase kernels of the chunked driver
 // (DESIGN.md §9) in isolation, full-range, on 4096-robot workloads; the

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"gridgather/internal/benchio"
+	"gridgather/internal/core"
 	"gridgather/internal/experiments"
 	"gridgather/internal/parallel"
 	"gridgather/internal/sched"
@@ -52,7 +53,7 @@ func main() { os.Exit(gatherbenchMain()) }
 // (-cpuprofile/-memprofile) flush on every path, including failures.
 func gatherbenchMain() int {
 	var (
-		which     = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13, E-sched")
+		which     = flag.String("experiment", "all", "experiment to run: all, E1, E2/E3, E4, E8, E9, E10, E11, E12, E13, E-sched, E-strat")
 		seed      = flag.Int64("seed", 1, "random seed")
 		trials    = flag.Int("trials", 5, "trials per randomized configuration")
 		sizes     = flag.String("sizes", "128,256,512,1024,2048", "comma-separated target sizes")
@@ -63,6 +64,7 @@ func gatherbenchMain() int {
 		engWrk    = flag.Int("workers", 0, "phase-kernel workers inside every simulated engine (core chunked driver, DESIGN.md §9); 0 = sequential (results identical for any value)")
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler the suite's round simulations run under: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]; E9's structural probe and E12's global-vision baselines are scheduler-free, and E-sched sweeps its own axis regardless")
+		stratFlag = flag.String("strategy", "paper", "gathering strategy the suite's round simulations drive: paper or lintime; paper-specific accounting columns read zero under lintime, and E-strat sweeps its own axis regardless")
 
 		benchOut     = flag.String("bench-out", "", "measure the pinned benchmark subset and write the JSON trajectory snapshot to this file (skips the experiment suite)")
 		benchAgainst = flag.String("bench-against", "", "compare a fresh measurement of the pinned subset against this committed snapshot; exit non-zero on staleness or >20% allocs/op regression")
@@ -115,7 +117,13 @@ func gatherbenchMain() int {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		return 1
 	}
-	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, EngineWorkers: *engWrk, Sched: schedCfg}
+	strategy, err := core.ParseStrategy(*stratFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatherbench:", err)
+		return 1
+	}
+	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers,
+		EngineWorkers: *engWrk, Sched: schedCfg, Strategy: strategy}
 	for _, tok := range strings.Split(*sizes, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err == nil && v > 0 {
@@ -218,6 +226,9 @@ func run(which string, params experiments.Params) ([]experiments.Outcome, error)
 		"E-SCHED": experiments.ESched,
 		"ESCHED":  experiments.ESched,
 		"SCHED":   experiments.ESched,
+		"E-STRAT": experiments.EStrat,
+		"ESTRAT":  experiments.EStrat,
+		"STRAT":   experiments.EStrat,
 	}
 	f, ok := table[strings.ToUpper(which)]
 	if !ok {

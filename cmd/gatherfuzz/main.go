@@ -1,8 +1,10 @@
 // Command gatherfuzz is the conformance stress harness: it fans large
 // numbers of randomized (family × size × configuration × seed) scenarios
-// through the worker pool, running every one through the engine-vs-model
-// lockstep check of internal/oracle (positions, merges, run registry,
-// round reports, termination, invariant battery — every round).
+// through the worker pool, running every one through the conformance check
+// of internal/oracle — the engine-vs-model lockstep for the paper strategy
+// (positions, merges, run registry, round reports, termination, invariant
+// battery — every round), the battery-plus-watchdog path for strategies
+// without a model mirror.
 //
 // Scenario randomness derives from the per-task seed alone
 // (parallel.TaskSeed), so a campaign is reproducible from its -seed and
@@ -25,13 +27,21 @@
 // The naive model knows nothing about workers, so chunking artefacts
 // surface as lockstep divergences like any other engine bug.
 //
+// The gathering strategy (DESIGN.md §10) is the fifth axis: -strategy mix
+// (the default) draws from the registered strategies per scenario,
+// -strategy paper or -strategy lintime pins one for a whole run. The paper
+// strategy runs the full engine-vs-model lockstep; strategies without a
+// model mirror run the invariant battery plus the liveness watchdog
+// (FSYNC non-gathering is a divergence, non-FSYNC watchdog expiry a DNF).
+//
 // Usage:
 //
-//	gatherfuzz                          # 100k scenarios, all families, mixed schedulers and workers
+//	gatherfuzz                          # 100k scenarios, all families, mixed schedulers, workers, strategies
 //	gatherfuzz -scenarios 1000000       # the million-chain campaign
 //	gatherfuzz -max-size 256 -seed 7    # smaller chains, different stream
 //	gatherfuzz -sched bounded:3         # one activation model for the whole run
 //	gatherfuzz -workers 4               # pin the chunked driver to 4 workers
+//	gatherfuzz -strategy lintime        # conformance-slice the contraction strategy
 //	gatherfuzz -only 123456             # re-run one scenario index
 //
 // The summary on stdout is deterministic for a given flag set; timing and
@@ -67,6 +77,7 @@ func gatherfuzzMain() int {
 		workers   = flag.Int("parallel", 0, "worker-pool size; 0 = GOMAXPROCS")
 		only      = flag.Int("only", -1, "run only this scenario index (reproduce a failure)")
 		schedFlag = flag.String("sched", "mix", "activation scheduler: mix (draw per scenario from the fuzzing space), or one config (fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S])")
+		stratFlag = flag.String("strategy", "mix", "gathering strategy: mix (draw per scenario from the registry), paper, or lintime")
 		engWrk    = flag.Int("workers", 0, "engine phase-kernel workers per scenario: 0 = draw 1-8 per scenario, otherwise pin this count")
 		progress  = flag.Duration("progress", 10*time.Second, "progress interval on stderr (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
@@ -89,9 +100,18 @@ func gatherfuzzMain() int {
 		}
 		forced = &cfg
 	}
+	var forcedStrat *core.StrategyName
+	if *stratFlag != "mix" {
+		name, err := core.ParseStrategy(*stratFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gatherfuzz:", err)
+			return 2
+		}
+		forcedStrat = &name
+	}
 
 	if *only >= 0 {
-		desc, err := runScenario(*seed, *only, *minSize, *maxSize, forced, *engWrk)
+		desc, err := runScenario(*seed, *only, *minSize, *maxSize, forced, forcedStrat, *engWrk)
 		fmt.Printf("scenario %d: %s\n", *only, desc)
 		if err != nil {
 			fmt.Println(err)
@@ -130,19 +150,19 @@ func gatherfuzzMain() int {
 	}
 
 	err := parallel.ForEach(*workers, *scenarios, func(i int) error {
-		sc := makeScenario(*seed, i, *minSize, *maxSize, forced, *engWrk)
+		sc := makeScenario(*seed, i, *minSize, *maxSize, forced, forcedStrat, *engWrk)
 		ch, err := sc.build()
 		if err != nil {
 			return fmt.Errorf("scenario %d (%s): generator failed: %w", i, sc.desc(), err)
 		}
-		res, err := oracle.CheckWithOptions(sc.cfg(), ch, oracle.Options{Sched: sc.schedCfg()})
+		res, err := oracle.CheckWithOptions(sc.cfg(), ch, sc.oracleOpts())
 		if err != nil {
 			minimal := oracle.Shrink(ch.Positions(), func(c *chain.Chain) bool {
-				_, serr := oracle.CheckWithOptions(sc.cfg(), c, oracle.Options{Sched: sc.schedCfg()})
+				_, serr := oracle.CheckWithOptions(sc.cfg(), c, sc.oracleOpts())
 				return serr != nil
 			})
-			return fmt.Errorf("scenario %d (%s): %w\nreproduce: gatherfuzz -seed %d -min-size %d -max-size %d -sched %s -workers %d -only %d\nshrunk witness:\n%s",
-				i, sc.desc(), err, *seed, *minSize, *maxSize, *schedFlag, *engWrk, i, oracle.FormatSeed(minimal))
+			return fmt.Errorf("scenario %d (%s): %w\nreproduce: gatherfuzz -seed %d -min-size %d -max-size %d -sched %s -strategy %s -workers %d -only %d\nshrunk witness:\n%s",
+				i, sc.desc(), err, *seed, *minSize, *maxSize, *schedFlag, *stratFlag, *engWrk, i, oracle.FormatSeed(minimal))
 		}
 		if !res.Gathered {
 			dnf.Add(1)
@@ -168,8 +188,9 @@ func gatherfuzzMain() int {
 	}
 
 	elapsed := time.Since(start)
-	fmt.Printf("gatherfuzz: %d scenarios, %d families x %d configs x sched %s x workers %s, sizes %d..%d, seed %d\n",
-		*scenarios, len(scenarioFamilies()), oracle.NumConfigs(), schedSpaceDesc(forced), workersSpaceDesc(*engWrk), *minSize, *maxSize, *seed)
+	fmt.Printf("gatherfuzz: %d scenarios, %d families x %d configs x sched %s x workers %s x strategy %s, sizes %d..%d, seed %d\n",
+		*scenarios, len(scenarioFamilies()), oracle.NumConfigs(), schedSpaceDesc(forced), workersSpaceDesc(*engWrk),
+		strategySpaceDesc(forcedStrat), *minSize, *maxSize, *seed)
 	fmt.Printf("divergences: 0\n")
 	fmt.Printf("gathered: %d, DNF within the non-FSYNC watchdog: %d\n",
 		done.Load()-dnf.Load(), dnf.Load())
@@ -210,33 +231,46 @@ func workersSpaceDesc(pinned int) string {
 	return "mix(1-8)"
 }
 
+// strategySpaceDesc names the strategy axis in the deterministic summary.
+func strategySpaceDesc(forced *core.StrategyName) string {
+	if forced != nil {
+		return forced.String()
+	}
+	return fmt.Sprintf("mix(%d)", oracle.NumStrategies())
+}
+
 // scenario is one fully derived (family, size, config, scheduler,
-// workers, seed) cell.
+// workers, strategy, seed) cell.
 type scenario struct {
-	family   int
-	size     int
-	cfgSel   int
-	schedSel int
-	workers  int
-	forced   *sched.Config
-	rngSeed  int64
+	family      int
+	size        int
+	cfgSel      int
+	schedSel    int
+	workers     int
+	stratSel    int
+	forced      *sched.Config
+	forcedStrat *core.StrategyName
+	rngSeed     int64
 }
 
 // makeScenario derives scenario i of the campaign. All randomness flows
 // from TaskSeed(base, 0, i): the campaign is a pure function of the base
-// seed (and the -sched / -workers overrides), and any cell can be
-// reproduced alone. The workers draw happens unconditionally so pinning
-// -workers changes only that axis, never the rest of the cell.
-func makeScenario(base int64, i, minSize, maxSize int, forced *sched.Config, pinnedWorkers int) scenario {
+// seed (and the -sched / -strategy / -workers overrides), and any cell can
+// be reproduced alone. The workers and strategy draws happen
+// unconditionally so pinning either changes only that axis, never the
+// rest of the cell.
+func makeScenario(base int64, i, minSize, maxSize int, forced *sched.Config, forcedStrat *core.StrategyName, pinnedWorkers int) scenario {
 	rng := rand.New(rand.NewSource(parallel.TaskSeed(base, 0, i)))
 	families := scenarioFamilies()
 	sc := scenario{
-		family:   rng.Intn(len(families)),
-		cfgSel:   rng.Intn(oracle.NumConfigs()),
-		schedSel: rng.Intn(oracle.NumScheds()),
-		workers:  1 + rng.Intn(8),
-		forced:   forced,
-		rngSeed:  rng.Int63(),
+		family:      rng.Intn(len(families)),
+		cfgSel:      rng.Intn(oracle.NumConfigs()),
+		schedSel:    rng.Intn(oracle.NumScheds()),
+		workers:     1 + rng.Intn(8),
+		stratSel:    rng.Intn(oracle.NumStrategies()),
+		forced:      forced,
+		forcedStrat: forcedStrat,
+		rngSeed:     rng.Int63(),
 	}
 	if pinnedWorkers > 0 {
 		sc.workers = pinnedWorkers
@@ -265,9 +299,24 @@ func (sc scenario) schedCfg() sched.Config {
 	return oracle.SchedFromByte(uint8(sc.schedSel))
 }
 
+// strategy is the scenario's gathering strategy: the -strategy override
+// when set, otherwise the cell's draw from the fuzzing strategy space.
+func (sc scenario) strategy() core.StrategyName {
+	if sc.forcedStrat != nil {
+		return *sc.forcedStrat
+	}
+	return oracle.StrategyFromByte(uint8(sc.stratSel))
+}
+
+// oracleOpts bundles the scenario's conformance options for the check and
+// the shrinker (which must search under the identical cell).
+func (sc scenario) oracleOpts() oracle.Options {
+	return oracle.Options{Sched: sc.schedCfg(), Strategy: sc.strategy()}
+}
+
 func (sc scenario) desc() string {
-	return fmt.Sprintf("family=%s size=%d cfg=%d sched=%s workers=%d seed=%d",
-		scenarioFamilies()[sc.family], sc.size, sc.cfgSel, sc.schedCfg(), sc.workers, sc.rngSeed)
+	return fmt.Sprintf("family=%s size=%d cfg=%d sched=%s strategy=%s workers=%d seed=%d",
+		scenarioFamilies()[sc.family], sc.size, sc.cfgSel, sc.schedCfg(), sc.strategy(), sc.workers, sc.rngSeed)
 }
 
 // build constructs the scenario's start configuration.
@@ -283,12 +332,12 @@ func (sc scenario) build() (*chain.Chain, error) {
 }
 
 // runScenario reproduces one scenario index in isolation (-only).
-func runScenario(base int64, i, minSize, maxSize int, forced *sched.Config, pinnedWorkers int) (string, error) {
-	sc := makeScenario(base, i, minSize, maxSize, forced, pinnedWorkers)
+func runScenario(base int64, i, minSize, maxSize int, forced *sched.Config, forcedStrat *core.StrategyName, pinnedWorkers int) (string, error) {
+	sc := makeScenario(base, i, minSize, maxSize, forced, forcedStrat, pinnedWorkers)
 	ch, err := sc.build()
 	if err != nil {
 		return sc.desc(), err
 	}
-	_, err = oracle.CheckWithOptions(sc.cfg(), ch, oracle.Options{Sched: sc.schedCfg()})
+	_, err = oracle.CheckWithOptions(sc.cfg(), ch, sc.oracleOpts())
 	return fmt.Sprintf("%s n=%d", sc.desc(), ch.Len()), err
 }

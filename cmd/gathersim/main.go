@@ -60,6 +60,12 @@ Activation model (default: the paper's fully synchronous rounds):
                  (see DESIGN.md §8; non-FSYNC runs scale the watchdog by
                  the inverse activation rate)
 
+Strategy (default: the paper's algorithm):
+  -strategy S    gathering strategy the engine drives: %s
+                 (DESIGN.md §10; lintime is the linear-time global-vision
+                 contraction — the -view/-period/-mergelen and ablation
+                 flags only shape the paper strategy)
+
 Execution and output:
   -check         per-round safety invariant checking (O(n)/round)
   -workers P     phase-kernel workers of the engine's chunked driver
@@ -74,6 +80,7 @@ Examples:
   gathersim -shape spiral -size 512            # the classic worst case
   gathersim -shape walk -size 200 -seed 7 -ascii 25
   gathersim -shape rectangle -size 256 -sched rr:3
+  gathersim -shape spiral -size 512 -strategy lintime
   gathersim -shape comb -size 300 -view 9 -period 5 -check
   gathersim -in chain.json -json               # re-run a saved chain
 
@@ -81,6 +88,7 @@ On an engine error the exit status is non-zero and stderr carries the
 exact start configuration as a ready-to-use -in seed.
 `, strings.Join(generate.Names(), ", "),
 		core.DefaultViewingPathLength, core.DefaultRunPeriod, core.DefaultMaxMergeLen,
+		strings.Join(core.StrategyNames(), ", "),
 		sim.DefaultWatchdogFactor, sim.DefaultWatchdogSlack)
 }
 
@@ -101,11 +109,16 @@ func main() {
 		workers   = flag.Int("workers", 0, "phase-kernel workers of the chunked driver (0 = sequential; byte-identical for every value)")
 		maxRounds = flag.Int("max-rounds", 0, "override the watchdog limit (0 = automatic)")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
+		stratFlag = flag.String("strategy", "paper", "gathering strategy: "+strings.Join(core.StrategyNames(), ", "))
 	)
 	flag.Usage = usage
 	flag.Parse()
 
 	schedCfg, err := sched.Parse(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
+	strategy, err := core.ParseStrategy(*stratFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,6 +138,7 @@ func main() {
 		CheckInvariants: *check,
 		MaxRounds:       *maxRounds,
 		Sched:           schedCfg,
+		Strategy:        strategy,
 		Workers:         *workers,
 	}
 	var rec *trace.Recorder
@@ -159,8 +173,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gathersim: aborted after %d rounds with %d/%d robots left\n",
 			res.Rounds, res.FinalLen, n)
 		if *inFile == "" {
-			fmt.Fprintf(os.Stderr, "gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s (flags as above), or via -in with the seed below\n",
-				*shape, *size, *seed, schedCfg)
+			fmt.Fprintf(os.Stderr, "gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s -strategy %s (flags as above), or via -in with the seed below\n",
+				*shape, *size, *seed, schedCfg, strategy)
 		}
 		fmt.Fprintf(os.Stderr, "gathersim: chain seed: %s\n", seedJSON)
 		os.Exit(1)

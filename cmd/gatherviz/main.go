@@ -6,6 +6,7 @@
 //	gatherviz -shape comb -size 200 -every 10
 //	gatherviz -shape spiral -size 400 -svg out.svg
 //	gatherviz -shape rectangle -size 128 -sched rr:3 -every 50
+//	gatherviz -shape spiral -size 400 -strategy lintime -every 2
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"gridgather/internal/core"
 	"gridgather/internal/generate"
 	"gridgather/internal/sched"
 	"gridgather/internal/sim"
@@ -30,11 +32,16 @@ func main() {
 		svg       = flag.String("svg", "", "write an SVG overlay to this file instead of ASCII")
 		scale     = flag.Int("scale", 8, "SVG pixels per grid unit")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
+		stratFlag = flag.String("strategy", "paper", "gathering strategy: "+strings.Join(core.StrategyNames(), ", "))
 		workers   = flag.Int("workers", 0, "phase-kernel workers of the chunked driver (0 = sequential; frames identical for every value)")
 	)
 	flag.Parse()
 
 	schedCfg, err := sched.Parse(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
+	strategy, err := core.ParseStrategy(*stratFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -45,7 +52,7 @@ func main() {
 	rec := trace.NewRecorder()
 	rec.Every = *every
 	rec.InitialFrame(ch)
-	res, err := sim.Gather(ch, sim.Options{Observer: rec, Sched: schedCfg, Workers: *workers})
+	res, err := sim.Gather(ch, sim.Options{Observer: rec, Sched: schedCfg, Strategy: strategy, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

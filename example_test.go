@@ -83,6 +83,31 @@ func ExampleOptions_scheduler() {
 	// rr:3:  96 robots in 323 rounds (gathered=true)
 }
 
+// ExampleOptions_strategy is the strategy quickstart (DESIGN.md §10):
+// the same square under the paper's fully local strategy and under the
+// linear-time bounding-box contraction successor, which trades global
+// vision for ~diameter/2 rounds.
+func ExampleOptions_strategy() {
+	run := func(opts gridgather.Options) gridgather.Result {
+		ch, err := gridgather.Rectangle(24, 24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := gridgather.Gather(ch, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	paper := run(gridgather.Options{})
+	lin := run(gridgather.Options{Strategy: gridgather.StrategyLinTime})
+	fmt.Printf("paper:   %d robots in %d rounds\n", paper.InitialLen, paper.Rounds)
+	fmt.Printf("lintime: %d robots in %d rounds (strategy %s)\n", lin.InitialLen, lin.Rounds, lin.Strategy)
+	// Output:
+	// paper:   96 robots in 97 rounds
+	// lintime: 96 robots in 12 rounds (strategy lintime)
+}
+
 // Example_baselines mirrors examples/baselines: the paper's pipelined
 // strategy against the no-pipelining ablation and the global-vision
 // contraction baseline on one square-ring workload.

@@ -6,9 +6,11 @@
 //
 // The package is a facade over the implementation packages:
 //
-//   - internal/core — the paper's algorithm: merge operations, quasi
-//     lines, runner-driven reshapement, run passing, pipelining,
-//     termination conditions;
+//   - internal/core — the Strategy interface (DESIGN.md §10) and its two
+//     registered implementations: the paper's algorithm (merge
+//     operations, quasi lines, runner-driven reshapement, run passing,
+//     pipelining, termination conditions) and the linear-time
+//     closed-chain contraction successor (arXiv:1501.04877);
 //   - internal/chain, internal/grid, internal/view — the substrate: the
 //     closed-chain data structure, grid geometry, and the restricted
 //     local views (viewing path length 11);
@@ -122,6 +124,48 @@ func BoundedAdversarySched(k int, seed int64) SchedConfig {
 // robot independently active with probability p per round.
 func RandomSched(p float64, seed int64) SchedConfig {
 	return SchedConfig{Kind: sched.Random, P: p, Seed: seed}
+}
+
+// Gathering strategies (internal/core, DESIGN.md §10). Options.Strategy
+// selects which algorithm drives the chain; every strategy runs under the
+// same engine, schedulers, invariant battery and conformance harness (the
+// E-strat tables in EXPERIMENTS.md compare them head to head).
+type (
+	// Strategy is the round contract a gathering algorithm implements to
+	// run under the engine: chain access, per-round stepping with an
+	// activation set, and the gathering predicate (DESIGN.md §10).
+	Strategy = core.Strategy
+	// StrategyName names a registered gathering strategy for
+	// Options.Strategy. The zero value is the paper's algorithm, so
+	// existing zero-value Options are unchanged.
+	StrategyName = core.StrategyName
+)
+
+// The registered strategies for Options.Strategy.
+const (
+	// StrategyPaper is the paper's fully local algorithm (the default).
+	StrategyPaper = core.StrategyPaper
+	// StrategyLinTime is the linear-time closed-chain contraction
+	// successor (arXiv:1501.04877): gathers in ~diameter/2 FSYNC rounds
+	// by clamping every robot into the shrunken bounding box.
+	StrategyLinTime = core.StrategyLinTime
+)
+
+// ParseStrategy parses the -strategy flag syntax shared by all CLIs:
+// "paper" (or "") and "lintime".
+func ParseStrategy(s string) (StrategyName, error) { return core.ParseStrategy(s) }
+
+// StrategyNames lists the strategies accepted by ParseStrategy.
+func StrategyNames() []string { return core.StrategyNames() }
+
+// NewStrategy constructs a registered strategy over the chain with the
+// given config. A zero-value cfg selects the paper's defaults. Most
+// callers use Options.Strategy and let the engine construct it instead.
+func NewStrategy(name StrategyName, ch *Chain, cfg Config) (Strategy, error) {
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	return core.NewStrategy(name, ch, cfg)
 }
 
 // V constructs a grid vector.

@@ -96,6 +96,31 @@ func GatherSquare65536(b *testing.B) {
 	gatherSquare(b, 16384, runtime.NumCPU())
 }
 
+// LinTimeGatherSquare4096 is the strategy arena's wall-clock axis
+// (DESIGN.md §10): the full lintime contraction run on the same
+// 4096-robot square as GatherSquare4096. The round count is ~diameter/2
+// instead of ~n, so the interesting trajectory columns are ns/op against
+// its paper counterpart and the per-round allocation discipline (the
+// contraction's scratch reuse must hold the same zero-steady-state bar).
+func LinTimeGatherSquare4096(b *testing.B) {
+	ref, err := generate.Rectangle(1024, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Gather(ref.Clone(), sim.Options{Strategy: core.StrategyLinTime})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
 // gatherSquare is the shared body of the square-gather benchmarks: a full
 // run on the boundary of a side x side square (4*side robots), cloning the
 // reference chain per iteration, at the given chunked-driver worker count

@@ -16,4 +16,12 @@
 // goroutines with a deterministic chunk-order reduction — the simulation
 // is byte-identical for every worker count. DESIGN.md §9 states the
 // ownership and seam rules each kernel obeys.
+//
+// The package also defines the Strategy contract every consumer of a
+// gathering algorithm drives (DESIGN.md §10) and its registry
+// (StrategyName, NewStrategy). Two strategies register: Algorithm (the
+// paper, the zero-value default) and LinTime, the linear-time
+// bounding-box contraction successor (arXiv:1501.04877) — ~diameter/2
+// FSYNC rounds at the price of global vision, with an edge-guard
+// suppression fixpoint under partial activation.
 package core

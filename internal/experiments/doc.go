@@ -8,4 +8,8 @@
 // owns a private RNG seeded by parallel.TaskSeed(Seed+offset, config,
 // trial) and a private simulation engine, so the rendered tables are
 // bit-identical for every worker count (DESIGN.md §5).
+//
+// Params.Sched and Params.Strategy set the activation scheduler and the
+// gathering strategy of the suite's round simulations; ESched and EStrat
+// sweep those axes themselves regardless.
 package experiments

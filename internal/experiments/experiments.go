@@ -47,20 +47,29 @@ type Params struct {
 	// open-chain hoppers). The scheduler axis itself is swept by ESched
 	// regardless of this field.
 	Sched sched.Config
+	// Strategy is the gathering strategy the suite's round simulations
+	// drive (core.NewStrategy; zero value = the paper's algorithm, the
+	// recorded EXPERIMENTS.md setting). Like Sched it applies to the
+	// experiments that gather through the round engine; the paper-specific
+	// accounting columns (pairs, runs, start kinds) read as zero under a
+	// strategy without that machinery. The strategy axis itself is swept
+	// head-to-head by EStrat regardless of this field.
+	Strategy core.StrategyName
 }
 
 // gatherOpts returns the sim options of a suite simulation: the suite-wide
-// activation model and engine worker count plus any per-experiment extras
-// the caller sets.
+// activation model, gathering strategy and engine worker count plus any
+// per-experiment extras the caller sets.
 func (p Params) gatherOpts() sim.Options {
-	return sim.Options{Sched: p.Sched, Workers: p.EngineWorkers}
+	return sim.Options{Sched: p.Sched, Strategy: p.Strategy, Workers: p.EngineWorkers}
 }
 
-// withSched stamps the suite-wide activation model and engine worker count
-// onto options built by the ablation presets (baseline.*Options), which
-// know nothing about either.
+// withSched stamps the suite-wide activation model, gathering strategy and
+// engine worker count onto options built by the ablation presets
+// (baseline.*Options), which know nothing about any of them.
 func (p Params) withSched(opts sim.Options) sim.Options {
 	opts.Sched = p.Sched
+	opts.Strategy = p.Strategy
 	opts.Workers = p.EngineWorkers
 	return opts
 }
@@ -120,6 +129,7 @@ func All(p Params) ([]Outcome, error) {
 		E12Baselines,
 		E13AblationView,
 		ESched,
+		EStrat,
 	}
 	var out []Outcome
 	for _, f := range runs {

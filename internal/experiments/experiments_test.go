@@ -19,8 +19,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(outs) != 10 {
-		t.Fatalf("expected 10 executable experiments, got %d", len(outs))
+	if len(outs) != 11 {
+		t.Fatalf("expected 11 executable experiments, got %d", len(outs))
 	}
 	ids := map[string]bool{}
 	for _, o := range outs {
@@ -35,7 +35,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 			}
 		}
 	}
-	for _, want := range []string{"E1", "E2/E3", "E4", "E8", "E9", "E10", "E11", "E12", "E13", "E-sched"} {
+	for _, want := range []string{"E1", "E2/E3", "E4", "E8", "E9", "E10", "E11", "E12", "E13", "E-sched", "E-strat"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing", want)
 		}

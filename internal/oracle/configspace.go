@@ -70,3 +70,19 @@ func NumScheds() int { return len(fuzzScheds) }
 // (wrapping modulo NumScheds). Selector 0 is FSYNC, so legacy corpus
 // entries and zero-extended inputs keep their original semantics.
 func SchedFromByte(sel uint8) sched.Config { return fuzzScheds[int(sel)%len(fuzzScheds)] }
+
+// The fuzzing strategy space: every registered strategy. The paper
+// strategy runs the full engine-vs-model lockstep; strategies without a
+// model mirror run the battery-plus-watchdog path (checkStrategy).
+var fuzzStrategies = []core.StrategyName{core.StrategyPaper, core.StrategyLinTime}
+
+// NumStrategies is the size of the fuzzing strategy space.
+func NumStrategies() int { return len(fuzzStrategies) }
+
+// StrategyFromByte maps a selector byte onto the fuzzing strategy space
+// (wrapping modulo NumStrategies). Selector 0 is the paper strategy, so
+// legacy corpus entries and zero-extended inputs keep their original
+// semantics.
+func StrategyFromByte(sel uint8) core.StrategyName {
+	return fuzzStrategies[int(sel)%len(fuzzStrategies)]
+}

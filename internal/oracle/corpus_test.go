@@ -76,17 +76,18 @@ func corpusChains(t *testing.T) map[string]*chain.Chain {
 
 // engineCorpusEntry renders one FuzzEngineVsOracle corpus file: the chain
 // as its byte walk plus a configuration selector, an activation scheduler
-// selector (0 = FSYNC), and a worker-count selector (0 = sequential
-// driver; w selects 1+w%8 phase-kernel workers).
-func engineCorpusEntry(ch *chain.Chain, cfgSel, schedSel, wrkSel uint8) string {
-	return rawEngineCorpusEntry(generate.ToBytes(ch), cfgSel, schedSel, wrkSel)
+// selector (0 = FSYNC), a worker-count selector (0 = sequential driver;
+// w selects 1+w%8 phase-kernel workers), and a strategy selector
+// (0 = paper).
+func engineCorpusEntry(ch *chain.Chain, cfgSel, schedSel, wrkSel, stratSel uint8) string {
+	return rawEngineCorpusEntry(generate.ToBytes(ch), cfgSel, schedSel, wrkSel, stratSel)
 }
 
 // rawEngineCorpusEntry is engineCorpusEntry for a hand-crafted byte walk
 // (the seam seed below is defined by its bytes, not by a generator).
-func rawEngineCorpusEntry(data []byte, cfgSel, schedSel, wrkSel uint8) string {
-	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\n",
-		data, rune(cfgSel), rune(schedSel), rune(wrkSel))
+func rawEngineCorpusEntry(data []byte, cfgSel, schedSel, wrkSel, stratSel uint8) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\n",
+		data, rune(cfgSel), rune(schedSel), rune(wrkSel), rune(stratSel))
 }
 
 // seamSeedData is the committed seam-heavy FuzzEngineVsOracle seed: a
@@ -113,17 +114,21 @@ func TestSeedCorpus(t *testing.T) {
 	chains := corpusChains(t)
 	i := 0
 	for _, name := range sortedKeys(chains) {
-		// Spread the committed seeds across the configuration, scheduler
-		// and worker spaces so the corpus alone already covers several
-		// (V, L) points, every activation model (the stride 3 is coprime
-		// to the 7-scheduler space) and every worker count 1–8 (one step
-		// per entry through the 8-value space).
+		// Spread the committed seeds across the configuration, scheduler,
+		// worker and strategy spaces so the corpus alone already covers
+		// several (V, L) points, every activation model (the stride 3 is
+		// coprime to the 7-scheduler space), every worker count 1–8 (one
+		// step per entry through the 8-value space) and both registered
+		// strategies (alternating per entry).
 		expect[filepath.Join("FuzzEngineVsOracle", name)] = engineCorpusEntry(
-			chains[name], uint8(i%50), uint8((i/7*3)%oracle.NumScheds()), uint8((i/7)%8))
+			chains[name], uint8(i%50), uint8((i/7*3)%oracle.NumScheds()), uint8((i/7)%8),
+			uint8((i/7)%oracle.NumStrategies()))
 		i += 7
 	}
+	// The seam seed stays pinned to the paper strategy (selector 0): its
+	// purpose is the paper merge kernel's cross-chunk resolution path.
 	expect[filepath.Join("FuzzEngineVsOracle", "seam_merge_boundary")] =
-		rawEngineCorpusEntry(seamSeedData, 0, 0, 3)
+		rawEngineCorpusEntry(seamSeedData, 0, 0, 3, 0)
 	for fi, name := range generate.Names() {
 		expect[filepath.Join("FuzzGenerateFamilies", "family_"+name)] = familyCorpusEntry(uint8(fi), 24, 7)
 		expect[filepath.Join("FuzzGenerateFamilies", "family_"+name+"_large")] = familyCorpusEntry(uint8(fi), 300, 11)

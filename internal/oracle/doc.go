@@ -24,4 +24,11 @@
 // and plenty of false divergences, while every optimisation-bearing layer
 // (scratch reuse, seeded resolution, SoA splicing) is covered by a truly
 // independent implementation.
+//
+// The model speaks the paper's round semantics only, so Options.Strategy
+// forks the verification path (DESIGN.md §10): the paper strategy keeps
+// the full lockstep, while other strategies (lintime) run the
+// schedule-driven invariant battery minus the paper-only invariants,
+// with the same watchdog semantics — an FSYNC expiry is a liveness
+// divergence, non-FSYNC budget exhaustion a clean DNF.
 package oracle

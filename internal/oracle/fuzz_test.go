@@ -25,27 +25,34 @@ const fuzzMaxStepsSched = 192
 
 // FuzzEngineVsOracle decodes arbitrary bytes into a valid closed chain
 // (generate.FromBytes), picks a configuration from the ablation space, an
-// activation scheduler from the scheduler space, and a worker count (1–8,
-// the chunked phase-kernel driver) from the workers byte, and runs the
-// fast engine against the naive model in lockstep on one shared
-// activation set. Scheduler selector 0 is FSYNC and workers selector 0 is
-// the sequential driver, so legacy corpus entries keep their meaning. The
-// model knows nothing about workers — any chunking artefact (a seam-split
-// merge, a mis-combined buffer) surfaces as a lockstep divergence. On a
-// divergence the failing chain is shrunk (under the same config, scheduler
-// and worker count) and printed as a ready-to-paste seed.
+// activation scheduler from the scheduler space, a worker count (1–8, the
+// chunked phase-kernel driver) from the workers byte, and a gathering
+// strategy from the strategy byte, and runs the conformance check:
+// engine-vs-model lockstep for the paper strategy, the battery-plus-
+// watchdog path for strategies without a model mirror. Scheduler selector
+// 0 is FSYNC, workers selector 0 is the sequential driver and strategy
+// selector 0 is the paper strategy, so legacy corpus entries keep their
+// meaning. The model knows nothing about workers — any chunking artefact
+// (a seam-split merge, a mis-combined buffer) surfaces as a lockstep
+// divergence. On a divergence the failing chain is shrunk (under the same
+// config, scheduler, worker count and strategy) and printed as a
+// ready-to-paste seed.
 func FuzzEngineVsOracle(f *testing.F) {
 	rng := rand.New(rand.NewSource(61))
 	for i, name := range generate.Names() {
 		if ch, err := generate.Named(name, 16, rng); err == nil {
-			f.Add(generate.ToBytes(ch), uint8(0), uint8(0), uint8(0))
-			// One non-FSYNC, multi-worker seed per family so the mutator
-			// starts with the scheduler and workers axes already open.
-			f.Add(generate.ToBytes(ch), uint8(i), uint8(1+i%(oracle.NumScheds()-1)), uint8(i%8))
+			f.Add(generate.ToBytes(ch), uint8(0), uint8(0), uint8(0), uint8(0))
+			// One non-FSYNC, multi-worker seed per family, alternating the
+			// strategy, so the mutator starts with every axis already open.
+			f.Add(generate.ToBytes(ch), uint8(i), uint8(1+i%(oracle.NumScheds()-1)), uint8(i%8),
+				uint8(i%oracle.NumStrategies()))
 		}
 	}
-	f.Fuzz(func(t *testing.T, data []byte, cfgSel, schedSel, wrkSel uint8) {
-		opts := oracle.Options{Sched: oracle.SchedFromByte(schedSel)}
+	f.Fuzz(func(t *testing.T, data []byte, cfgSel, schedSel, wrkSel, stratSel uint8) {
+		opts := oracle.Options{
+			Sched:    oracle.SchedFromByte(schedSel),
+			Strategy: oracle.StrategyFromByte(stratSel),
+		}
 		maxSteps := fuzzMaxSteps
 		if opts.Sched.Kind != sched.FSYNC {
 			maxSteps = fuzzMaxStepsSched
@@ -64,8 +71,8 @@ func FuzzEngineVsOracle(f *testing.F) {
 				_, serr := oracle.CheckWithOptions(cfg, c, opts)
 				return serr != nil
 			})
-			t.Fatalf("engine/model divergence (cfg %+v, sched %s): %v\nshrunk witness:\n%s",
-				cfg, opts.Sched, err, oracle.FormatSeed(minimal))
+			t.Fatalf("conformance failure (cfg %+v, sched %s, strategy %s): %v\nshrunk witness:\n%s",
+				cfg, opts.Sched, opts.Strategy, err, oracle.FormatSeed(minimal))
 		}
 	})
 }

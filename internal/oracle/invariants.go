@@ -36,6 +36,11 @@ type Invariant struct {
 	// invariants (ring integrity, edge safety, bbox monotonicity) carry no
 	// mark and must hold under every activation model.
 	FSYNCOnly bool
+	// PaperOnly marks invariants whose premise is the paper strategy's
+	// run machinery (Lemma 1's good-pair windows, Theorem 1's round cap).
+	// CheckWithOptions skips them when checking another strategy; the
+	// safety invariants carry no mark and must hold for every strategy.
+	PaperOnly bool
 }
 
 // Battery returns the standard invariant set, in checking order:
@@ -48,18 +53,19 @@ type Invariant struct {
 //	theorem1-round-cap    gathering finishes within (2L+1)*n rounds
 //
 // The battery is declarative so callers can extend or subset it; Check
-// runs it as given. The last two entries are FSYNCOnly: Lemma 1 and
-// Theorem 1 are proven for fully synchronous rounds and their premises
-// fail by design when robots sleep, while the four safety invariants must
-// hold under every activation model (DESIGN.md §8).
+// runs it as given. The last two entries are FSYNCOnly and PaperOnly:
+// Lemma 1 and Theorem 1 are proven for the paper strategy under fully
+// synchronous rounds and their premises fail by design when robots sleep
+// or another strategy runs, while the four safety invariants must hold
+// under every activation model and every strategy (DESIGN.md §8, §10).
 func Battery() []Invariant {
 	return []Invariant{
 		{Name: "ring-integrity", Check: checkRingIntegrity},
 		{Name: "chain-edges", Check: checkChainEdges},
 		{Name: "no-zero-edges", Check: checkNoZeroEdges},
 		{Name: "bbox-monotone", Check: checkBoundsMonotone},
-		{Name: "lemma1-window", Check: checkLemma1Window, FSYNCOnly: true},
-		{Name: "theorem1-round-cap", Check: checkTheorem1Cap, FSYNCOnly: true},
+		{Name: "lemma1-window", Check: checkLemma1Window, FSYNCOnly: true, PaperOnly: true},
+		{Name: "theorem1-round-cap", Check: checkTheorem1Cap, FSYNCOnly: true, PaperOnly: true},
 	}
 }
 

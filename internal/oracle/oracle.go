@@ -55,6 +55,14 @@ type Options struct {
 	// error. Safety — agreement plus the non-FSYNCOnly invariants — is
 	// asserted either way, every round.
 	Sched sched.Config
+	// Strategy selects the gathering strategy to check. The zero value
+	// (the paper strategy) runs the full engine-vs-model lockstep. Other
+	// strategies have no naive mirror yet; they run under the invariant
+	// battery (minus the PaperOnly entries) plus a liveness watchdog:
+	// under FSYNC not gathering within the watchdog is a divergence,
+	// under non-FSYNC schedulers it is a clean DNF, mirroring the paper
+	// path's semantics. Fault injection applies only to the paper path.
+	Strategy core.StrategyName
 }
 
 // Result summarises a conformance check that found no divergence.
@@ -80,8 +88,9 @@ func Check(cfg core.Config, seed *chain.Chain, maxRounds int) (Result, error) {
 	return CheckWithOptions(cfg, seed, Options{MaxRounds: maxRounds})
 }
 
-// CheckWithOptions is Check with fault injection and a configurable
-// battery.
+// CheckWithOptions is Check with fault injection, a configurable battery,
+// and strategy selection (non-paper strategies take the battery-plus-
+// watchdog path of checkStrategy; the naive model mirrors only the paper).
 func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result, error) {
 	positions := seed.Positions()
 	res := Result{InitialLen: len(positions)}
@@ -90,6 +99,9 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 		// robots and every comparison would be vacuously wrong.
 		return res, fmt.Errorf("oracle: seed must be a start configuration (chain has %d dead handles)",
 			seed.NumHandles()-seed.Len())
+	}
+	if opts.Strategy != core.StrategyPaper {
+		return checkStrategy(cfg, seed, opts)
 	}
 
 	alg, err := core.New(seed.Clone(), cfg)

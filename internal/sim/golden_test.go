@@ -32,30 +32,33 @@ var updateGolden = flag.Bool("update", false, "rewrite golden trace fixtures")
 type goldenWorkload struct {
 	name  string
 	build func() (*chain.Chain, error)
+	// strategy selects the gathering strategy the workload pins; the zero
+	// value is the paper strategy, matching the pre-arena fixtures.
+	strategy core.StrategyName
 }
 
 func goldenWorkloads() []goldenWorkload {
 	return []goldenWorkload{
-		{"rectangle_48x48", func() (*chain.Chain, error) { return generate.Rectangle(48, 48) }},
-		{"rectangle_20x77", func() (*chain.Chain, error) { return generate.Rectangle(20, 77) }},
-		{"spiral_w8", func() (*chain.Chain, error) { return generate.Spiral(8) }},
-		{"staircase_12x5", func() (*chain.Chain, error) { return generate.Staircase(12, 5) }},
-		{"comb_8x9x3", func() (*chain.Chain, error) { return generate.Comb(8, 9, 3) }},
-		{"walk_256_seed11", func() (*chain.Chain, error) {
+		{name: "rectangle_48x48", build: func() (*chain.Chain, error) { return generate.Rectangle(48, 48) }},
+		{name: "rectangle_20x77", build: func() (*chain.Chain, error) { return generate.Rectangle(20, 77) }},
+		{name: "spiral_w8", build: func() (*chain.Chain, error) { return generate.Spiral(8) }},
+		{name: "staircase_12x5", build: func() (*chain.Chain, error) { return generate.Staircase(12, 5) }},
+		{name: "comb_8x9x3", build: func() (*chain.Chain, error) { return generate.Comb(8, 9, 3) }},
+		{name: "walk_256_seed11", build: func() (*chain.Chain, error) {
 			return generate.RandomClosedWalk(256, rand.New(rand.NewSource(11)))
 		}},
-		{"walk_512_seed42", func() (*chain.Chain, error) {
+		{name: "walk_512_seed42", build: func() (*chain.Chain, error) {
 			return generate.RandomClosedWalk(512, rand.New(rand.NewSource(42)))
 		}},
-		{"polyomino_300_seed5", func() (*chain.Chain, error) {
+		{name: "polyomino_300_seed5", build: func() (*chain.Chain, error) {
 			return generate.RandomPolyomino(300, rand.New(rand.NewSource(5)))
 		}},
-		{"doubled_40_seed3", func() (*chain.Chain, error) {
+		{name: "doubled_40_seed3", build: func() (*chain.Chain, error) {
 			return generate.DoubledPath(40, rand.New(rand.NewSource(3)))
 		}},
-		{"serpentine_6x21", func() (*chain.Chain, error) { return generate.Serpentine(6, 21) }},
-		{"lshape_18x11x4", func() (*chain.Chain, error) { return generate.LShape(18, 11, 4) }},
-		{"histogram_seed7", func() (*chain.Chain, error) {
+		{name: "serpentine_6x21", build: func() (*chain.Chain, error) { return generate.Serpentine(6, 21) }},
+		{name: "lshape_18x11x4", build: func() (*chain.Chain, error) { return generate.LShape(18, 11, 4) }},
+		{name: "histogram_seed7", build: func() (*chain.Chain, error) {
 			return generate.RandomHistogram(24, 15, rand.New(rand.NewSource(7)))
 		}},
 		// Sizes the original equivalence suite left uncovered, added with
@@ -64,10 +67,21 @@ func goldenWorkloads() []goldenWorkload {
 		// additionally cross-checked against the naive model below
 		// (TestGoldenOracleVerified), so the recording engine itself is
 		// vouched for by a second implementation.
-		{"ring_8", func() (*chain.Chain, error) { return generate.Rectangle(3, 1) }},
-		{"walk_1024_seed13", func() (*chain.Chain, error) {
+		{name: "ring_8", build: func() (*chain.Chain, error) { return generate.Rectangle(3, 1) }},
+		{name: "walk_1024_seed13", build: func() (*chain.Chain, error) {
 			return generate.RandomClosedWalk(1024, rand.New(rand.NewSource(13)))
 		}},
+		// The strategy arena (PR 7): lintime recordings on a run-driven ring
+		// and a tangled walk pin the contraction's observable behaviour the
+		// same way the paper fixtures pin the reference strategy's.
+		{name: "lintime_rectangle_48x48",
+			build:    func() (*chain.Chain, error) { return generate.Rectangle(48, 48) },
+			strategy: core.StrategyLinTime},
+		{name: "lintime_walk_512_seed42",
+			build: func() (*chain.Chain, error) {
+				return generate.RandomClosedWalk(512, rand.New(rand.NewSource(42)))
+			},
+			strategy: core.StrategyLinTime},
 	}
 }
 
@@ -129,7 +143,7 @@ func TestGoldenTraces(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := sim.Gather(ch, sim.Options{CheckInvariants: true})
+			res, err := sim.Gather(ch, sim.Options{CheckInvariants: true, Strategy: w.strategy})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -33,7 +33,7 @@ func TestGoldenTracesWorkers(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := sim.Gather(ch, sim.Options{CheckInvariants: true, Workers: workers})
+				res, err := sim.Gather(ch, sim.Options{CheckInvariants: true, Workers: workers, Strategy: w.strategy})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -57,9 +57,12 @@ func TestGoldenTracesWorkers(t *testing.T) {
 
 // traceWorkloads is the subset whose full position history is compared
 // frame by frame — heavier than the Result comparison, so a representative
-// mix rather than all fourteen: the smallest ring, a merge-heavy doubled
-// path, a run-driven square and a random tangle.
-var traceWorkloads = []string{"ring_8", "doubled_40_seed3", "rectangle_48x48", "walk_256_seed11"}
+// mix rather than all sixteen: the smallest ring, a merge-heavy doubled
+// path, a run-driven square, a random tangle, and one lintime workload
+// (the contraction is sequential per round, but the determinism contract
+// must hold for every registered strategy).
+var traceWorkloads = []string{"ring_8", "doubled_40_seed3", "rectangle_48x48", "walk_256_seed11",
+	"lintime_walk_512_seed42"}
 
 // TestWorkersTraceBytesIdentical renders the complete ASCII trace (every
 // round's positions) at each worker count and compares the bytes against
@@ -84,7 +87,7 @@ func TestWorkersTraceBytesIdentical(t *testing.T) {
 				}
 				rec := trace.NewRecorder()
 				rec.InitialFrame(ch)
-				if _, err := sim.Gather(ch, sim.Options{Observer: rec, Workers: workers}); err != nil {
+				if _, err := sim.Gather(ch, sim.Options{Observer: rec, Workers: workers, Strategy: w.strategy}); err != nil {
 					t.Fatal(err)
 				}
 				return trace.RenderAll(rec.Frames())
@@ -121,7 +124,7 @@ func TestWorkersRoundReportsIdentical(t *testing.T) {
 				obs := sim.ObserverFunc(func(ch *chain.Chain, rep core.RoundReport) {
 					fmt.Fprintf(&b, "%+v\n", rep)
 				})
-				if _, err := sim.Gather(ch, sim.Options{Observer: obs, Workers: workers}); err != nil {
+				if _, err := sim.Gather(ch, sim.Options{Observer: obs, Workers: workers, Strategy: w.strategy}); err != nil {
 					t.Fatal(err)
 				}
 				return b.String()

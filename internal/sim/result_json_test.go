@@ -61,6 +61,64 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestResultStrategyJSON pins the Strategy field's serialisation contract:
+// a lintime result names its strategy and survives the round trip; a paper
+// result omits the field entirely, so every fixture and serialised result
+// recorded before the strategy arena stays byte-identical and an absent
+// field always means "paper".
+func TestResultStrategyJSON(t *testing.T) {
+	ch, err := generate.Rectangle(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := sim.Gather(ch.Clone(), sim.Options{Strategy: core.StrategyLinTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Strategy":"lintime"`) {
+		t.Errorf("lintime result JSON lacks the strategy name:\n%s", data)
+	}
+	var back sim.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lin, back) {
+		t.Errorf("round trip changed the lintime result:\n got %+v\nwant %+v", back, lin)
+	}
+	if back.Strategy != core.StrategyLinTime {
+		t.Errorf("round trip lost the strategy: %q", back.Strategy)
+	}
+
+	paper, err := sim.Gather(ch, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = json.Marshal(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"Strategy"`) {
+		t.Errorf("paper result JSON must omit the Strategy field (fixture compatibility):\n%s", data)
+	}
+
+	// An explicit "paper" in incoming JSON decodes to the zero value, so
+	// hand-written inputs and omitted fields agree.
+	var explicit sim.Result
+	if err := json.Unmarshal([]byte(`{"Strategy":"paper"}`), &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Strategy != core.StrategyPaper {
+		t.Errorf(`"paper" decoded to %q, want the zero value`, explicit.Strategy)
+	}
+	if err := json.Unmarshal([]byte(`{"Strategy":"bogus"}`), &explicit); err == nil {
+		t.Error("unknown strategy name decoded without error")
+	}
+}
+
 // TestEnumTextUnknown pins the error paths of the text codecs.
 func TestEnumTextUnknown(t *testing.T) {
 	var k core.StartKind

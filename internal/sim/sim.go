@@ -23,6 +23,11 @@ const (
 type Options struct {
 	// Config is the algorithm parameter set; zero value means defaults.
 	Config core.Config
+	// Strategy selects the gathering strategy the engine drives
+	// (core.NewStrategy). The zero value is the paper's algorithm, so
+	// every pre-arena call site and fixture keeps its meaning; "lintime"
+	// selects the linear-time contraction successor (DESIGN.md §10).
+	Strategy core.StrategyName
 	// MaxRounds overrides the watchdog limit when positive; otherwise the
 	// limit is WatchdogFactor*n + WatchdogSlack.
 	MaxRounds int
@@ -74,6 +79,12 @@ type Result struct {
 	// InitialDiameter is the LInf diameter of the start configuration,
 	// the paper's lower-bound witness.
 	InitialDiameter int
+	// Strategy names the gathering strategy that produced this result, so
+	// replay and the future result cache can key on it. The zero value
+	// (the paper strategy) is omitted from the JSON — results and golden
+	// fixtures recorded before the strategy arena stay byte-identical,
+	// and an absent field always means "paper".
+	Strategy core.StrategyName `json:"Strategy,omitempty"`
 	// Gathered reports success (false only when an error aborted the run).
 	Gathered bool
 
@@ -110,9 +121,9 @@ var (
 	ErrInvariant = errors.New("sim: safety invariant violated")
 )
 
-// Engine wraps a core.Algorithm with checking and accounting.
+// Engine wraps a core.Strategy with checking and accounting.
 type Engine struct {
-	alg     *core.Algorithm
+	alg     core.Strategy
 	opts    Options
 	res     Result
 	tracker *pairTracker
@@ -149,7 +160,7 @@ func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	alg, err := core.New(ch, opts.Config)
+	alg, err := core.NewStrategy(opts.Strategy, ch, opts.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -157,14 +168,23 @@ func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
 	e.res = Result{
 		InitialLen:      ch.Len(),
 		InitialDiameter: ch.Diameter(),
+		Strategy:        opts.Strategy,
 		StartsByKind:    make(map[core.StartKind]int),
 		EndsByReason:    make(map[core.TerminateReason]int),
 	}
 	return e, nil
 }
 
-// Algorithm exposes the wrapped algorithm (for instrumentation).
-func (e *Engine) Algorithm() *core.Algorithm { return e.alg }
+// Strategy exposes the wrapped strategy (for instrumentation).
+func (e *Engine) Strategy() core.Strategy { return e.alg }
+
+// Algorithm exposes the wrapped paper algorithm when that is the driven
+// strategy, nil otherwise (instrumentation that reads paper-specific
+// state must check).
+func (e *Engine) Algorithm() *core.Algorithm {
+	alg, _ := e.alg.(*core.Algorithm)
+	return alg
+}
 
 // Chain exposes the simulated chain.
 func (e *Engine) Chain() *chain.Chain { return e.alg.Chain() }
