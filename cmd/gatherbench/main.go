@@ -32,12 +32,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"gridgather/internal/benchio"
@@ -46,6 +50,10 @@ import (
 	"gridgather/internal/parallel"
 	"gridgather/internal/sched"
 )
+
+// exitInterrupted is the conventional exit status of a SIGINT-terminated
+// process (128+2); scripts can tell an interrupted suite from a failed one.
+const exitInterrupted = 130
 
 func main() { os.Exit(gatherbenchMain()) }
 
@@ -122,8 +130,15 @@ func gatherbenchMain() int {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		return 1
 	}
+	// SIGINT/SIGTERM cancel the experiment grids at a cell boundary:
+	// in-flight simulations finish, the experiments already completed are
+	// still rendered (partial-results flush), and the process exits with
+	// the interrupt status.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	params := experiments.Params{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers,
-		EngineWorkers: *engWrk, Sched: schedCfg, Strategy: strategy}
+		EngineWorkers: *engWrk, Sched: schedCfg, Strategy: strategy, Context: ctx}
 	for _, tok := range strings.Split(*sizes, ",") {
 		var v int
 		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &v); err == nil && v > 0 {
@@ -134,9 +149,14 @@ func gatherbenchMain() int {
 	start := time.Now()
 	outs, err := run(*which, params)
 	elapsed := time.Since(start)
-	if err != nil {
+	interrupted := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		return 1
+	}
+	if interrupted {
+		stopSignals()
+		fmt.Fprintf(os.Stderr, "gatherbench: interrupted — flushing the %d completed experiment(s)\n", len(outs))
 	}
 
 	if !*quiet {
@@ -144,16 +164,20 @@ func gatherbenchMain() int {
 	}
 
 	text := experiments.Render(outs, *csv)
+	exit := 0
+	if interrupted {
+		exit = exitInterrupted
+	}
 	if *out == "" {
 		fmt.Print(text)
-		return 0
+		return exit
 	}
 	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
 		return 1
 	}
 	fmt.Printf("wrote %s\n", *out)
-	return 0
+	return exit
 }
 
 // runBenchMode measures the pinned benchmark subset, optionally writes the

@@ -43,6 +43,15 @@
 //	gatherfuzz -workers 4               # pin the chunked driver to 4 workers
 //	gatherfuzz -strategy lintime        # conformance-slice the contraction strategy
 //	gatherfuzz -only 123456             # re-run one scenario index
+//	gatherfuzz -resume failure.bundle   # replay a recorded failure
+//
+// On a divergence the campaign also writes a diagnostic bundle (-bundle,
+// default gatherfuzz-failure.bundle): the exact failing chain plus its
+// configuration, scheduler, strategy and worker count in one checksummed
+// file, replayable anywhere via -resume without rebuilding the campaign.
+// SIGINT/SIGTERM stop the campaign at a scenario boundary: in-flight
+// scenarios drain, the progress reached is reported, and the process exits
+// with status 130.
 //
 // The summary on stdout is deterministic for a given flag set; timing and
 // throughput (scenarios/s) go to stderr, following the repo convention
@@ -50,12 +59,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gridgather/internal/chain"
@@ -64,7 +78,13 @@ import (
 	"gridgather/internal/oracle"
 	"gridgather/internal/parallel"
 	"gridgather/internal/sched"
+	"gridgather/internal/sim"
 )
+
+// exitInterrupted is the conventional exit status of a SIGINT-terminated
+// process (128+2); scripts can tell an interrupted campaign from a failed
+// one.
+const exitInterrupted = 130
 
 func main() { os.Exit(gatherfuzzMain()) }
 
@@ -81,8 +101,13 @@ func gatherfuzzMain() int {
 		engWrk    = flag.Int("workers", 0, "engine phase-kernel workers per scenario: 0 = draw 1-8 per scenario, otherwise pin this count")
 		progress  = flag.Duration("progress", 10*time.Second, "progress interval on stderr (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
+		bundle    = flag.String("bundle", "gatherfuzz-failure.bundle", "write the failing scenario (chain, config, scheduler, strategy, workers) to this diagnostic bundle on a divergence; replay with -resume (empty = off)")
+		resume    = flag.String("resume", "", "replay a diagnostic bundle written by -bundle and report whether the divergence reproduces")
 	)
 	flag.Parse()
+	if *resume != "" {
+		return resumeBundle(*resume)
+	}
 	if *minSize < 4 || *maxSize < *minSize {
 		fmt.Fprintln(os.Stderr, "gatherfuzz: need 4 <= min-size <= max-size")
 		return 2
@@ -121,6 +146,12 @@ func gatherfuzzMain() int {
 		return 0
 	}
 
+	// SIGINT/SIGTERM cancel the campaign's context: no new scenarios are
+	// dispatched, in-flight ones finish, and the progress reached is
+	// reported before exiting with the interrupt status.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var (
 		done        atomic.Int64
 		robots      atomic.Int64
@@ -129,6 +160,13 @@ func gatherfuzzMain() int {
 		maxN        atomic.Int64
 		dnf         atomic.Int64
 		familyCount = make([]atomic.Int64, len(scenarioFamilies()))
+
+		// The first failing scenario's diagnostic bundle (guarded: several
+		// workers can fail concurrently; the campaign reports the
+		// lowest-error-precedence one ForEachContext returns, the bundle
+		// records whichever failure was captured first).
+		bundleMu  sync.Mutex
+		failureBd *sim.Bundle
 	)
 	start := time.Now()
 	stopProgress := make(chan struct{})
@@ -149,7 +187,7 @@ func gatherfuzzMain() int {
 		}()
 	}
 
-	err := parallel.ForEach(*workers, *scenarios, func(i int) error {
+	err := parallel.ForEachContext(ctx, *workers, *scenarios, func(i int) error {
 		sc := makeScenario(*seed, i, *minSize, *maxSize, forced, forcedStrat, *engWrk)
 		ch, err := sc.build()
 		if err != nil {
@@ -157,6 +195,21 @@ func gatherfuzzMain() int {
 		}
 		res, err := oracle.CheckWithOptions(sc.cfg(), ch, sc.oracleOpts())
 		if err != nil {
+			bundleMu.Lock()
+			if failureBd == nil {
+				failureBd = &sim.Bundle{
+					Label:    fmt.Sprintf("scenario %d (%s)", i, sc.desc()),
+					Seed:     parallel.TaskSeed(*seed, 0, i),
+					Scenario: ch,
+					Config:   sc.cfg(),
+					Strategy: sc.strategy(),
+					Sched:    sc.schedCfg(),
+					Workers:  sc.workers,
+					Round:    -1,
+					Err:      err.Error(),
+				}
+			}
+			bundleMu.Unlock()
 			minimal := oracle.Shrink(ch.Positions(), func(c *chain.Chain) bool {
 				_, serr := oracle.CheckWithOptions(sc.cfg(), c, sc.oracleOpts())
 				return serr != nil
@@ -182,8 +235,24 @@ func gatherfuzzMain() int {
 	})
 	close(stopProgress)
 	if err != nil {
+		// Task errors take precedence over the context error in
+		// ForEachContext, so a bare context.Canceled means a clean
+		// interrupt: report the progress reached, not a failure.
+		if errors.Is(err, context.Canceled) && failureBd == nil {
+			stopSignals()
+			fmt.Fprintf(os.Stderr, "gatherfuzz: interrupted after %d/%d scenarios (no divergences)\n",
+				done.Load(), *scenarios)
+			return exitInterrupted
+		}
 		fmt.Fprintln(os.Stderr, "gatherfuzz: FAIL")
 		fmt.Println(err)
+		if failureBd != nil && *bundle != "" {
+			if werr := sim.WriteBundle(*bundle, failureBd); werr != nil {
+				fmt.Fprintln(os.Stderr, "gatherfuzz: writing bundle:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "gatherfuzz: diagnostic bundle written — replay with: gatherfuzz -resume %s\n", *bundle)
+			}
+		}
 		return 1
 	}
 
@@ -329,6 +398,34 @@ func (sc scenario) build() (*chain.Chain, error) {
 		return generate.FromBytes(data)
 	}
 	return generate.Named(families[sc.family], sc.size, rng)
+}
+
+// resumeBundle replays a diagnostic bundle written by a failing campaign
+// (-bundle): it re-runs the recorded scenario — exact chain, configuration,
+// scheduler, strategy and worker count — through the conformance check and
+// reports whether the divergence reproduces. Exit status: 0 when the
+// scenario now passes, 1 when the divergence reproduces, 2 when the bundle
+// cannot be read (corrupt, truncated, or the wrong artifact).
+func resumeBundle(path string) int {
+	b, err := sim.ReadBundle(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gatherfuzz: reading bundle %s: %v\n", path, err)
+		return 2
+	}
+	fmt.Printf("replaying %s\n", b.Label)
+	if b.Err != "" {
+		fmt.Printf("recorded failure: %s\n", b.Err)
+	}
+	cfg := b.Config
+	if b.Workers > 0 {
+		cfg.Workers = b.Workers
+	}
+	if _, err := oracle.CheckWithOptions(cfg, b.Scenario, oracle.Options{Sched: b.Sched, Strategy: b.Strategy}); err != nil {
+		fmt.Printf("divergence reproduces: %v\n", err)
+		return 1
+	}
+	fmt.Println("ok — the recorded divergence no longer reproduces")
+	return 0
 }
 
 // runScenario reproduces one scenario index in isolation (-only).

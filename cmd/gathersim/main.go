@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"gridgather/internal/chain"
 	"gridgather/internal/core"
@@ -25,6 +29,10 @@ import (
 	"gridgather/internal/sim"
 	"gridgather/internal/trace"
 )
+
+// exitInterrupted is the conventional exit status of a SIGINT-terminated
+// process (128+2); scripts can tell an interrupted run from a failed one.
+const exitInterrupted = 130
 
 // usage is the -help text: every flag with its default, grouped by what it
 // controls, with example invocations — flags without a story here are
@@ -76,6 +84,19 @@ Execution and output:
   -ascii N       print an ASCII frame every N rounds (default 0 = off)
   -json          print the full Result as JSON instead of the summary
 
+Run lifecycle (DESIGN.md §11):
+  -max-wall D    wall-clock budget (e.g. 30s, 5m; default 0 = none); on
+                 expiry the run stops at a round boundary with a partial
+                 summary (and a checkpoint, when -checkpoint is set)
+  -checkpoint F  on SIGINT/SIGTERM or -max-wall expiry, write a resumable
+                 checkpoint to F and exit with status %d (interrupt) —
+                 finishing later via -resume reproduces the uninterrupted
+                 run byte for byte
+  -resume F      resume a checkpoint written by -checkpoint instead of
+                 generating a chain (-shape/-size/-seed/-in and the
+                 algorithm/scheduler flags are ignored: the checkpoint
+                 carries them; -workers/-check/-max-wall still apply)
+
 Examples:
   gathersim -shape spiral -size 512            # the classic worst case
   gathersim -shape walk -size 200 -seed 7 -ascii 25
@@ -83,13 +104,15 @@ Examples:
   gathersim -shape spiral -size 512 -strategy lintime
   gathersim -shape comb -size 300 -view 9 -period 5 -check
   gathersim -in chain.json -json               # re-run a saved chain
+  gathersim -shape rectangle -size 2048 -checkpoint run.ckpt   # ^C to pause
+  gathersim -resume run.ckpt                   # ... and finish later
 
 On an engine error the exit status is non-zero and stderr carries the
 exact start configuration as a ready-to-use -in seed.
 `, strings.Join(generate.Names(), ", "),
 		core.DefaultViewingPathLength, core.DefaultRunPeriod, core.DefaultMaxMergeLen,
 		strings.Join(core.StrategyNames(), ", "),
-		sim.DefaultWatchdogFactor, sim.DefaultWatchdogSlack)
+		sim.DefaultWatchdogFactor, sim.DefaultWatchdogSlack, exitInterrupted)
 }
 
 func main() {
@@ -110,59 +133,138 @@ func main() {
 		maxRounds = flag.Int("max-rounds", 0, "override the watchdog limit (0 = automatic)")
 		schedFlag = flag.String("sched", "fsync", "activation scheduler: fsync, rr:K, bounded:K[:p=P][:seed=S], random[:p=P][:seed=S]")
 		stratFlag = flag.String("strategy", "paper", "gathering strategy: "+strings.Join(core.StrategyNames(), ", "))
+		maxWall   = flag.Duration("max-wall", 0, "wall-clock budget; the run stops at a round boundary on expiry (0 = none)")
+		ckptFile  = flag.String("checkpoint", "", "write a resumable checkpoint to this file on SIGINT/SIGTERM or -max-wall expiry")
+		resume    = flag.String("resume", "", "resume a checkpoint written by -checkpoint instead of generating a chain")
 	)
 	flag.Usage = usage
 	flag.Parse()
 
-	schedCfg, err := sched.Parse(*schedFlag)
-	if err != nil {
-		fatal(err)
-	}
-	strategy, err := core.ParseStrategy(*stratFlag)
-	if err != nil {
-		fatal(err)
-	}
-	ch, err := loadChain(*inFile, *shape, *size, *seed)
-	if err != nil {
-		fatal(err)
-	}
+	// SIGINT/SIGTERM cancel the run's context: the engine stops at the next
+	// round boundary with an untorn partial Result, checkpointable below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
-	opts := sim.Options{
-		Config: core.Config{
-			ViewingPathLength: *viewLen,
-			RunPeriod:         *period,
-			MaxMergeLen:       *mergeLen,
-			DisableRunStarts:  *noRuns,
-			SequentialRuns:    *seqRuns,
-		},
-		CheckInvariants: *check,
-		MaxRounds:       *maxRounds,
-		Sched:           schedCfg,
-		Strategy:        strategy,
-		Workers:         *workers,
-	}
 	var rec *trace.Recorder
 	if *asciiEach > 0 {
 		rec = trace.NewRecorder()
 		rec.Every = *asciiEach
-		rec.InitialFrame(ch)
-		opts.Observer = rec
 	}
 
-	// Serialise the start configuration before the engine consumes the
-	// chain: on a watchdog or invariant failure this is the repro seed.
-	seedJSON, err := json.Marshal(ch)
-	if err != nil {
-		fatal(err)
+	var (
+		eng      *sim.Engine
+		seedJSON []byte // the start configuration, the repro seed on failure
+		n, diam  int
+		repro    string // reproduction hint of the failure path ("" = none)
+	)
+	if *resume != "" {
+		cp, err := sim.ReadCheckpoint(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		// Semantic parameters (algorithm config, scheduler, strategy) live
+		// in the checkpoint; only runtime knobs come from flags.
+		ropts := sim.Options{
+			CheckInvariants: *check,
+			Workers:         *workers,
+			MaxWallTime:     *maxWall,
+		}
+		if rec != nil {
+			ropts.Observer = rec
+		}
+		eng, err = sim.Restore(cp, ropts)
+		if err != nil {
+			fatal(err)
+		}
+		if rec != nil {
+			rec.InitialFrame(eng.Chain())
+		}
+		if seedJSON, err = json.Marshal(eng.Chain()); err != nil {
+			fatal(err)
+		}
+		n, diam = cp.Result.InitialLen, cp.Result.InitialDiameter
+		fmt.Fprintf(os.Stderr, "gathersim: resuming %s at round %d (%d robots left)\n",
+			*resume, cp.Result.Rounds, eng.Chain().Len())
+	} else {
+		schedCfg, err := sched.Parse(*schedFlag)
+		if err != nil {
+			fatal(err)
+		}
+		strategy, err := core.ParseStrategy(*stratFlag)
+		if err != nil {
+			fatal(err)
+		}
+		ch, err := loadChain(*inFile, *shape, *size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *inFile == "" {
+			repro = fmt.Sprintf("gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s -strategy %s (flags as above), or via -in with the seed below\n",
+				*shape, *size, *seed, schedCfg, strategy)
+		}
+
+		opts := sim.Options{
+			Config: core.Config{
+				ViewingPathLength: *viewLen,
+				RunPeriod:         *period,
+				MaxMergeLen:       *mergeLen,
+				DisableRunStarts:  *noRuns,
+				SequentialRuns:    *seqRuns,
+			},
+			CheckInvariants: *check,
+			MaxRounds:       *maxRounds,
+			Sched:           schedCfg,
+			Strategy:        strategy,
+			Workers:         *workers,
+			MaxWallTime:     *maxWall,
+		}
+		if rec != nil {
+			opts.Observer = rec
+			rec.InitialFrame(ch)
+		}
+
+		// Serialise the start configuration before the engine consumes the
+		// chain: on a watchdog or invariant failure this is the repro seed.
+		if seedJSON, err = json.Marshal(ch); err != nil {
+			fatal(err)
+		}
+		n, diam = ch.Len(), ch.Diameter()
+		eng, err = sim.NewEngine(ch, opts)
+		if err != nil {
+			// Pre-run failure (invalid configuration, invalid chain): nothing
+			// was simulated, so a repro seed would only bury the real error.
+			fatal(err)
+		}
 	}
-	n, diam := ch.Len(), ch.Diameter()
-	eng, err := sim.NewEngine(ch, opts)
-	if err != nil {
-		// Pre-run failure (invalid configuration, invalid chain): nothing
-		// was simulated, so a repro seed would only bury the real error.
-		fatal(err)
+
+	res, err := eng.RunContext(ctx)
+	if interrupted := errors.Is(err, context.Canceled); interrupted || errors.Is(err, sim.ErrDeadline) {
+		// Interrupt or wall-clock expiry: the partial Result is untorn and
+		// the engine state checkpointable — flush both instead of dying
+		// mid-table. A second ^C after stopSignals kills the process the
+		// default way.
+		stopSignals()
+		fmt.Fprintf(os.Stderr, "gathersim: %v\n", err)
+		fmt.Fprintf(os.Stderr, "gathersim: paused after %d rounds with %d/%d robots left\n",
+			res.Rounds, res.FinalLen, n)
+		if *ckptFile != "" {
+			cp, cerr := eng.Checkpoint()
+			if cerr == nil {
+				cerr = sim.WriteCheckpoint(*ckptFile, cp)
+			}
+			if cerr != nil {
+				fmt.Fprintln(os.Stderr, "gathersim: writing checkpoint:", cerr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "gathersim: checkpoint written — finish with: gathersim -resume %s\n", *ckptFile)
+		} else {
+			fmt.Fprintln(os.Stderr, "gathersim: no -checkpoint path set; progress discarded")
+		}
+		if interrupted {
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(1)
 	}
-	res, err := eng.Run()
 	if err != nil {
 		// An engine error (invariant violation, watchdog, algorithm fault)
 		// must fail loudly AND reproducibly: print the error, the exact
@@ -172,9 +274,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gathersim: %v\n", err)
 		fmt.Fprintf(os.Stderr, "gathersim: aborted after %d rounds with %d/%d robots left\n",
 			res.Rounds, res.FinalLen, n)
-		if *inFile == "" {
-			fmt.Fprintf(os.Stderr, "gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s -strategy %s (flags as above), or via -in with the seed below\n",
-				*shape, *size, *seed, schedCfg, strategy)
+		if repro != "" {
+			fmt.Fprint(os.Stderr, repro)
 		}
 		fmt.Fprintf(os.Stderr, "gathersim: chain seed: %s\n", seedJSON)
 		os.Exit(1)

@@ -168,6 +168,60 @@ func NewStrategy(name StrategyName, ch *Chain, cfg Config) (Strategy, error) {
 	return core.NewStrategy(name, ch, cfg)
 }
 
+// Run lifecycle (internal/sim, DESIGN.md §11): checkpoint/resume,
+// cancellation and deadlines, panic isolation.
+type (
+	// Checkpoint is a versioned, checksummed snapshot of a paused run:
+	// restoring it and finishing reproduces the uninterrupted run byte for
+	// byte (Engine.Checkpoint / Restore / Encode / DecodeCheckpoint).
+	Checkpoint = sim.Checkpoint
+	// Bundle is a portable failure report: the failing scenario (chain,
+	// configuration, scheduler, strategy, workers) in one checksummed
+	// file, replayable via gatherfuzz -resume.
+	Bundle = sim.Bundle
+	// PanicError is a strategy panic contained by the engine: the failing
+	// round plus the recovered value and stack. The engine stays poisoned
+	// afterwards — further Steps return the same error and Checkpoint
+	// refuses.
+	PanicError = sim.PanicError
+)
+
+// Run-lifecycle sentinel errors (match with errors.Is).
+var (
+	// ErrDeadline marks a run stopped at a round boundary by
+	// Options.Deadline or Options.MaxWallTime; the partial Result is
+	// sealed and the engine checkpointable.
+	ErrDeadline = sim.ErrDeadline
+	// ErrCheckpointCorrupt marks a checkpoint that fails any integrity
+	// check (envelope, checksum, or semantic validation on Restore).
+	ErrCheckpointCorrupt = sim.ErrCheckpointCorrupt
+	// ErrCheckpointVersion marks a checkpoint written by a different
+	// format version.
+	ErrCheckpointVersion = sim.ErrCheckpointVersion
+	// ErrBundleCorrupt marks a diagnostic bundle that fails any integrity
+	// check.
+	ErrBundleCorrupt = sim.ErrBundleCorrupt
+	// ErrBundleVersion marks a bundle written by a different format
+	// version.
+	ErrBundleVersion = sim.ErrBundleVersion
+)
+
+// Restore rebuilds a paused engine from a checkpoint. Semantic parameters
+// (algorithm config, scheduler, strategy, round/RNG state) come from the
+// checkpoint; runtime knobs (Workers, CheckInvariants, Observer, Deadline,
+// MaxWallTime) from opts. Invalid checkpoints fail with
+// ErrCheckpointCorrupt.
+func Restore(cp *Checkpoint, opts Options) (*Engine, error) { return sim.Restore(cp, opts) }
+
+// DecodeCheckpoint validates and decodes an encoded checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return sim.DecodeCheckpoint(data) }
+
+// WriteCheckpoint atomically writes a checkpoint file (temp file + rename).
+func WriteCheckpoint(path string, cp *Checkpoint) error { return sim.WriteCheckpoint(path, cp) }
+
+// ReadCheckpoint reads and validates a checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return sim.ReadCheckpoint(path) }
+
 // V constructs a grid vector.
 func V(x, y int) Vec { return grid.V(x, y) }
 

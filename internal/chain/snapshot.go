@@ -1,0 +1,116 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"gridgather/internal/grid"
+)
+
+// Snapshot is the full serialisable state of a chain, including the mid-run
+// state the positions-only JSON codec cannot express: dead handles (which
+// keep their final merge position), the ring links, and the head robot. It
+// is the chain layer of a sim.Checkpoint; FromSnapshot reverses it.
+//
+// The derived caches (ring-order index, bounding box and its face counts)
+// are deliberately absent: they are a pure function of the arrays and are
+// rebuilt on restore, so a snapshot cannot smuggle in an inconsistent cache.
+type Snapshot struct {
+	// Pos, Next, Prev and Live are the struct-of-arrays robot storage,
+	// indexed by Handle (see Chain). Dead handles keep their last position
+	// but are unlinked from the ring.
+	Pos  []grid.Vec `json:"pos"`
+	Next []Handle   `json:"next"`
+	Prev []Handle   `json:"prev"`
+	Live []bool     `json:"live"`
+	// Head is the live robot at cyclic index 0.
+	Head Handle `json:"head"`
+}
+
+// ErrBadSnapshot reports a snapshot that does not describe a consistent
+// closed chain (wrong array shapes, broken ring links, illegal edges).
+var ErrBadSnapshot = errors.New("chain: invalid snapshot")
+
+// Snapshot captures the chain's complete state. Valid at any point between
+// rounds; the result is independent of the lazy caches' dirtiness.
+func (c *Chain) Snapshot() Snapshot {
+	return Snapshot{
+		Pos:  append([]grid.Vec(nil), c.pos...),
+		Next: append([]Handle(nil), c.next...),
+		Prev: append([]Handle(nil), c.prev...),
+		Live: append([]bool(nil), c.live...),
+		Head: c.head,
+	}
+}
+
+// FromSnapshot rebuilds a chain from a Snapshot, validating it from
+// scratch: the arrays must agree in length, the live handles must form one
+// closed ring with consistent forward and backward links starting at Head,
+// and every ring edge must be a legal chain edge with no co-located
+// neighbours (beyond a gathered 2-cycle) — the state every between-rounds
+// chain satisfies. The derived caches are rebuilt, never trusted.
+func FromSnapshot(s Snapshot) (*Chain, error) {
+	m := len(s.Pos)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: no handles", ErrBadSnapshot)
+	}
+	if len(s.Next) != m || len(s.Prev) != m || len(s.Live) != m {
+		return nil, fmt.Errorf("%w: array lengths disagree (pos=%d next=%d prev=%d live=%d)",
+			ErrBadSnapshot, m, len(s.Next), len(s.Prev), len(s.Live))
+	}
+	n := 0
+	for _, alive := range s.Live {
+		if alive {
+			n++
+		}
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d live robots (need at least 2)", ErrBadSnapshot, n)
+	}
+	if s.Head < 0 || int(s.Head) >= m || !s.Live[s.Head] {
+		return nil, fmt.Errorf("%w: head %d is not a live handle", ErrBadSnapshot, s.Head)
+	}
+	// Walk the ring once from the head: n hops must visit n distinct live
+	// handles with consistent back-links and return to the head.
+	seen := make([]bool, m)
+	h := s.Head
+	for i := 0; i < n; i++ {
+		if seen[h] {
+			return nil, fmt.Errorf("%w: ring revisits handle %d before closing", ErrBadSnapshot, h)
+		}
+		seen[h] = true
+		nx := s.Next[h]
+		if nx < 0 || int(nx) >= m || !s.Live[nx] {
+			return nil, fmt.Errorf("%w: next[%d] = %d is not a live handle", ErrBadSnapshot, h, nx)
+		}
+		if s.Prev[nx] != h {
+			return nil, fmt.Errorf("%w: prev[%d] = %d, want %d", ErrBadSnapshot, nx, s.Prev[nx], h)
+		}
+		h = nx
+	}
+	if h != s.Head {
+		return nil, fmt.Errorf("%w: ring does not close (reached %d after %d hops, head %d)",
+			ErrBadSnapshot, h, n, s.Head)
+	}
+	c := &Chain{
+		pos:   append([]grid.Vec(nil), s.Pos...),
+		next:  append([]Handle(nil), s.Next...),
+		prev:  append([]Handle(nil), s.Prev...),
+		live:  append([]bool(nil), s.Live...),
+		order: make([]Handle, m),
+		idx:   make([]int32, m),
+		n:     n,
+		head:  s.Head,
+	}
+	c.order = c.order[:n]
+	c.orderDirty = true
+	c.reindex()
+	c.recomputeBounds()
+	if err := c.CheckEdges(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := c.CheckNoZeroEdges(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return c, nil
+}

@@ -23,7 +23,22 @@ const (
 	// whites of an executing spike hop anyway, re-introducing the
 	// oscillation the rule exists to prevent.
 	FaultSkipSpikePriority
+	// FaultPanic panics inside the merge-scan kernel — on a pool worker
+	// goroutine when Config.Workers >= 2 — exercising the panic-isolation
+	// path: parallel.Pool must surface the panic on the dispatching
+	// goroutine and sim.Engine must convert it into a per-run error
+	// (internal/chaos).
+	FaultPanic
+	// FaultWorkerStall delays odd-numbered merge-scan workers, skewing the
+	// fan-out's completion order. Results must remain byte-identical: the
+	// chunk-order combine, not scheduling luck, defines the round
+	// (internal/chaos).
+	FaultWorkerStall
 )
+
+// valid reports whether f is a known fault value; restores reject snapshots
+// carrying faults this build does not know.
+func (f Fault) valid() bool { return f >= FaultNone && f <= FaultWorkerStall }
 
 // String names the fault.
 func (f Fault) String() string {
@@ -34,6 +49,10 @@ func (f Fault) String() string {
 		return "skip-merge-resolution"
 	case FaultSkipSpikePriority:
 		return "skip-spike-priority"
+	case FaultPanic:
+		return "panic"
+	case FaultWorkerStall:
+		return "worker-stall"
 	default:
 		return fmt.Sprintf("Fault(%d)", int(f))
 	}
@@ -41,4 +60,22 @@ func (f Fault) String() string {
 
 // InjectFault arms a deliberate defect for all subsequent Step calls.
 // Conformance self-tests only; see the Fault doc.
-func (a *Algorithm) InjectFault(f Fault) { a.fault = f }
+func (a *Algorithm) InjectFault(f Fault) { a.InjectFaultAt(f, 0) }
+
+// InjectFaultAt arms a deliberate defect starting from the given round
+// (inclusive); earlier rounds run clean. The chaos harness (internal/chaos)
+// uses it to corrupt a run mid-flight and assert the conformance layer
+// still catches the divergence at exactly that point.
+func (a *Algorithm) InjectFaultAt(f Fault, fromRound int) {
+	a.fault = f
+	a.faultFrom = fromRound
+}
+
+// activeFault returns the defect in effect for the current round: the armed
+// fault once the arming round is reached, FaultNone before.
+func (a *Algorithm) activeFault() Fault {
+	if a.round < a.faultFrom {
+		return FaultNone
+	}
+	return a.fault
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gridgather/internal/chain"
 	"gridgather/internal/grid"
@@ -114,6 +115,14 @@ func (a *Algorithm) forEachChunk(n int, fn func(worker, lo, hi int)) {
 // Kernel contract: reads the materialised ring order and positions; writes
 // only this worker's spikes/uturns buffers (reset on entry).
 func (a *Algorithm) KernelMergeScan(worker, lo, hi int) {
+	switch a.activeFault() {
+	case FaultPanic:
+		panic(fmt.Sprintf("core: injected kernel panic (worker %d, round %d)", worker, a.round))
+	case FaultWorkerStall:
+		if worker%2 == 1 {
+			time.Sleep(200 * time.Microsecond) // skew the fan-out's completion order
+		}
+	}
 	w := &a.workers[worker]
 	w.spikes = w.spikes[:0]
 	w.uturns = w.uturns[:0]
@@ -162,7 +171,7 @@ func (a *Algorithm) CombineMergePlan() error {
 	for i := range a.workers {
 		plan.Patterns = append(plan.Patterns, a.workers[i].uturns...)
 	}
-	return plan.finish(a.ch, a.fault != FaultSkipSpikePriority)
+	return plan.finish(a.ch, a.activeFault() != FaultSkipSpikePriority)
 }
 
 // KernelDecide computes the run decisions for registry slots [lo, hi) of
@@ -249,7 +258,7 @@ func (a *Algorithm) kernelMove(lo, hi int) error {
 // requires a mover, so seeding from the moved set finds every merge in
 // O(#moved + #merges) without rescanning the ring.
 func (a *Algorithm) kernelResolveMerges(lo, hi int) {
-	if a.fault == FaultSkipMergeResolution {
+	if a.activeFault() == FaultSkipMergeResolution {
 		return
 	}
 	sc := &a.scratch

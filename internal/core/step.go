@@ -77,9 +77,10 @@ type Algorithm struct {
 	plan    *MergePlan
 	scratch stepScratch
 
-	// fault is the armed self-test defect (FaultNone in production); see
-	// fault.go.
-	fault Fault
+	// fault is the armed self-test defect (FaultNone in production) and
+	// faultFrom the round it takes effect from; see fault.go.
+	fault     Fault
+	faultFrom int
 
 	// anomalies accumulates defensive-path counts for the current round;
 	// Step moves them into the report.

@@ -34,6 +34,11 @@ type Strategy interface {
 	// engine's occupancy audit; strategies without a run machinery
 	// return nil.
 	Runs() []*Run
+	// Snapshot captures the strategy's cross-round state for the
+	// checkpoint codec (snapshot.go, DESIGN.md §11); RestoreStrategy
+	// reverses it. Valid between rounds only — per-round scratch is not
+	// state and is not captured.
+	Snapshot() StrategySnapshot
 }
 
 // Statically assert that both registered strategies satisfy the contract.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -55,6 +56,20 @@ type Params struct {
 	// strategy without that machinery. The strategy axis itself is swept
 	// head-to-head by EStrat regardless of this field.
 	Strategy core.StrategyName
+	// Context, when non-nil, bounds every experiment grid: on cancellation
+	// no new grid cells are dispatched, in-flight simulations finish, and
+	// the experiment returns the context's error (cmd/gatherbench uses this
+	// to drain cleanly on SIGINT and still flush the experiments that
+	// completed). Nil means context.Background() — run to completion.
+	Context context.Context
+}
+
+// ctx resolves the grid context, defaulting to Background.
+func (p Params) ctx() context.Context {
+	if p.Context == nil {
+		return context.Background()
+	}
+	return p.Context
 }
 
 // gatherOpts returns the sim options of a suite simulation: the suite-wide
@@ -210,7 +225,7 @@ func E1Theorem1(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -288,7 +303,7 @@ func E2E3Lemmas(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -356,7 +371,7 @@ func E4RunHealth(p Params) (Outcome, error) {
 			return sample{res.TotalRunsStarted, res.EndsByReason, res.Anomalies.Total()}, nil
 		}))
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -408,7 +423,7 @@ func E8Pipelining(p Params) (Outcome, error) {
 			return sample{side, n, res.Rounds, res.TotalRunsStarted, res.MaxActiveRuns}, nil
 		}))
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -464,7 +479,7 @@ func E9MergelessStructure(p Params) (Outcome, error) {
 				len(rep.Starts), mergeless, good}, nil
 		}))
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -553,7 +568,7 @@ func E10AblationRunPeriod(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -602,7 +617,7 @@ func E11AblationMergeLen(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -687,7 +702,7 @@ func E12Baselines(p Params) (Outcome, error) {
 		}))
 	}
 
-	rows, err := parallel.Run(p.Parallel, append(closedTasks, openTasks...))
+	rows, err := parallel.RunContext(p.ctx(), p.Parallel, append(closedTasks, openTasks...))
 	if err != nil {
 		return o, err
 	}
@@ -733,7 +748,7 @@ func E13AblationView(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}

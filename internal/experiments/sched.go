@@ -87,7 +87,7 @@ func ESched(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -146,7 +146,7 @@ func ESched(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	pflat, err := parallel.Run(p.Parallel, ptasks)
+	pflat, err := parallel.RunContext(p.ctx(), p.Parallel, ptasks)
 	if err != nil {
 		return o, err
 	}

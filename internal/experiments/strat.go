@@ -69,7 +69,7 @@ func EStrat(p Params) (Outcome, error) {
 			}))
 		}
 	}
-	flat, err := parallel.Run(p.Parallel, tasks)
+	flat, err := parallel.RunContext(p.ctx(), p.Parallel, tasks)
 	if err != nil {
 		return o, err
 	}
@@ -112,7 +112,7 @@ func EStrat(p Params) (Outcome, error) {
 			return runStratCell(p, "rectangle", sz, strat, rng)
 		}))
 	}
-	sflat, err := parallel.Run(p.Parallel, stasks)
+	sflat, err := parallel.RunContext(p.ctx(), p.Parallel, stasks)
 	if err != nil {
 		return o, err
 	}

@@ -86,3 +86,21 @@ func NumStrategies() int { return len(fuzzStrategies) }
 func StrategyFromByte(sel uint8) core.StrategyName {
 	return fuzzStrategies[int(sel)%len(fuzzStrategies)]
 }
+
+// MaxCheckpointRound bounds the checkpoint axis of the conformance fuzz:
+// mid-run codec round-trips are probed at rounds 1..MaxCheckpointRound,
+// deep enough that runs, merges and scheduler state all exist on the small
+// fuzz chains, and early enough that the axis costs one extra rebuild per
+// input rather than a second full run.
+const MaxCheckpointRound = 48
+
+// CheckpointRoundFromByte maps a selector byte onto the checkpoint axis
+// (Options.CheckpointRound): 0 disables the mid-run codec round-trip, so
+// legacy corpus entries and zero-extended inputs keep their original
+// semantics; any other value selects a round in [1, MaxCheckpointRound].
+func CheckpointRoundFromByte(sel uint8) int {
+	if sel == 0 {
+		return 0
+	}
+	return 1 + int(sel)%MaxCheckpointRound
+}

@@ -77,17 +77,17 @@ func corpusChains(t *testing.T) map[string]*chain.Chain {
 // engineCorpusEntry renders one FuzzEngineVsOracle corpus file: the chain
 // as its byte walk plus a configuration selector, an activation scheduler
 // selector (0 = FSYNC), a worker-count selector (0 = sequential driver;
-// w selects 1+w%8 phase-kernel workers), and a strategy selector
-// (0 = paper).
-func engineCorpusEntry(ch *chain.Chain, cfgSel, schedSel, wrkSel, stratSel uint8) string {
-	return rawEngineCorpusEntry(generate.ToBytes(ch), cfgSel, schedSel, wrkSel, stratSel)
+// w selects 1+w%8 phase-kernel workers), a strategy selector (0 = paper),
+// and a checkpoint-round selector (0 = no mid-run codec round-trip).
+func engineCorpusEntry(ch *chain.Chain, cfgSel, schedSel, wrkSel, stratSel, ckptSel uint8) string {
+	return rawEngineCorpusEntry(generate.ToBytes(ch), cfgSel, schedSel, wrkSel, stratSel, ckptSel)
 }
 
 // rawEngineCorpusEntry is engineCorpusEntry for a hand-crafted byte walk
 // (the seam seed below is defined by its bytes, not by a generator).
-func rawEngineCorpusEntry(data []byte, cfgSel, schedSel, wrkSel, stratSel uint8) string {
-	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\n",
-		data, rune(cfgSel), rune(schedSel), rune(wrkSel), rune(stratSel))
+func rawEngineCorpusEntry(data []byte, cfgSel, schedSel, wrkSel, stratSel, ckptSel uint8) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\nbyte(%q)\n",
+		data, rune(cfgSel), rune(schedSel), rune(wrkSel), rune(stratSel), rune(ckptSel))
 }
 
 // seamSeedData is the committed seam-heavy FuzzEngineVsOracle seed: a
@@ -115,20 +115,23 @@ func TestSeedCorpus(t *testing.T) {
 	i := 0
 	for _, name := range sortedKeys(chains) {
 		// Spread the committed seeds across the configuration, scheduler,
-		// worker and strategy spaces so the corpus alone already covers
-		// several (V, L) points, every activation model (the stride 3 is
-		// coprime to the 7-scheduler space), every worker count 1–8 (one
-		// step per entry through the 8-value space) and both registered
-		// strategies (alternating per entry).
+		// worker, strategy and checkpoint spaces so the corpus alone
+		// already covers several (V, L) points, every activation model (the
+		// stride 3 is coprime to the 7-scheduler space), every worker count
+		// 1–8 (one step per entry through the 8-value space), both
+		// registered strategies (alternating per entry) and a rotation of
+		// mid-run checkpoint rounds (entry 0 keeps the axis off, preserving
+		// one legacy-shaped seed).
 		expect[filepath.Join("FuzzEngineVsOracle", name)] = engineCorpusEntry(
 			chains[name], uint8(i%50), uint8((i/7*3)%oracle.NumScheds()), uint8((i/7)%8),
-			uint8((i/7)%oracle.NumStrategies()))
+			uint8((i/7)%oracle.NumStrategies()), uint8((i/7)%(oracle.MaxCheckpointRound+1)))
 		i += 7
 	}
-	// The seam seed stays pinned to the paper strategy (selector 0): its
-	// purpose is the paper merge kernel's cross-chunk resolution path.
+	// The seam seed stays pinned to the paper strategy (selector 0) with
+	// no checkpoint round-trip: its purpose is the paper merge kernel's
+	// cross-chunk resolution path, undisturbed.
 	expect[filepath.Join("FuzzEngineVsOracle", "seam_merge_boundary")] =
-		rawEngineCorpusEntry(seamSeedData, 0, 0, 3, 0)
+		rawEngineCorpusEntry(seamSeedData, 0, 0, 3, 0, 0)
 	for fi, name := range generate.Names() {
 		expect[filepath.Join("FuzzGenerateFamilies", "family_"+name)] = familyCorpusEntry(uint8(fi), 24, 7)
 		expect[filepath.Join("FuzzGenerateFamilies", "family_"+name+"_large")] = familyCorpusEntry(uint8(fi), 300, 11)

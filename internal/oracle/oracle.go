@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -38,6 +39,18 @@ type Options struct {
 	MaxRounds int
 	// Fault arms a deliberate engine defect (conformance self-tests).
 	Fault core.Fault
+	// FaultRound is the round Fault activates from (core.InjectFaultAt);
+	// zero arms it from the start. The chaos harness uses it to verify the
+	// oracle catches defects that only appear deep into a run.
+	FaultRound int
+	// CheckpointRound, when positive, pushes the engine-side strategy
+	// through the checkpoint codec between rounds CheckpointRound-1 and
+	// CheckpointRound: chain and strategy snapshots are serialised to
+	// JSON, decoded, validated and rebuilt, and the check continues
+	// against the rebuilt strategy. Any infidelity in the codec surfaces
+	// as a lockstep divergence (or invariant violation) in the rounds
+	// that follow — the fuzz campaign's checkpoint axis (DESIGN.md §11).
+	CheckpointRound int
 	// Invariants is the battery to run on the engine's chain after every
 	// round; nil selects Battery(). An empty non-nil slice disables it.
 	// Invariants marked FSYNCOnly are skipped under non-FSYNC schedulers.
@@ -108,7 +121,7 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 	if err != nil {
 		return res, err
 	}
-	alg.InjectFault(opts.Fault)
+	alg.InjectFaultAt(opts.Fault, opts.FaultRound)
 	model, err := NewModel(positions, cfg)
 	if err != nil {
 		return res, err
@@ -180,6 +193,18 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 					round, res.InitialLen, alg.Chain().Len())}
 		}
 
+		// The checkpoint axis: swap the engine for its codec round-trip at
+		// the chosen round boundary and keep the lockstep running against
+		// the rebuilt instance.
+		if opts.CheckpointRound > 0 && round == opts.CheckpointRound {
+			rt, err := roundTripStrategy(core.StrategyPaper, alg)
+			if err != nil {
+				return res, &Divergence{Round: round, Field: "checkpoint", Engine: err.Error()}
+			}
+			alg = rt.(*core.Algorithm)
+			st.Chain = alg.Chain()
+		}
+
 		// One scheduler, one activation set, both backends: the lockstep
 		// compares the engine and the model on identical rounds, never the
 		// scheduler against itself.
@@ -227,6 +252,35 @@ func CheckWithOptions(cfg core.Config, seed *chain.Chain, opts Options) (Result,
 			st.LastMergeRound = round
 		}
 	}
+}
+
+// roundTripStrategy pushes a strategy and its chain through the checkpoint
+// codec's serialised form — chain snapshot plus strategy snapshot, via JSON
+// — and rebuilds both from the decoded bytes, exactly as sim.Restore does.
+// It is the fidelity probe behind Options.CheckpointRound: the caller swaps
+// the returned strategy in for the original and lets the subsequent rounds
+// expose any state the codec dropped or distorted.
+func roundTripStrategy(name core.StrategyName, s core.Strategy) (core.Strategy, error) {
+	payload := struct {
+		Chain chain.Snapshot        `json:"chain"`
+		Strat core.StrategySnapshot `json:"strat"`
+	}{s.Chain().Snapshot(), s.Snapshot()}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	var back struct {
+		Chain chain.Snapshot        `json:"chain"`
+		Strat core.StrategySnapshot `json:"strat"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		return nil, err
+	}
+	ch, err := chain.FromSnapshot(back.Chain)
+	if err != nil {
+		return nil, err
+	}
+	return core.RestoreStrategy(name, ch, s.Config(), back.Strat)
 }
 
 func errString(err error) string {

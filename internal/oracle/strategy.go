@@ -82,6 +82,17 @@ func checkStrategy(cfg core.Config, seed *chain.Chain, opts Options) (Result, er
 					opts.Strategy, round, res.InitialLen, strat.Chain().Len())}
 		}
 
+		// The checkpoint axis, mirroring the paper path: continue the check
+		// against the strategy's codec round-trip.
+		if opts.CheckpointRound > 0 && round == opts.CheckpointRound {
+			rt, err := roundTripStrategy(opts.Strategy, strat)
+			if err != nil {
+				return res, &Divergence{Round: round, Field: "checkpoint", Engine: err.Error()}
+			}
+			strat = rt
+			st.Chain = strat.Chain()
+		}
+
 		var active []bool
 		if !fullySync {
 			n := strat.Chain().Len()

@@ -1,11 +1,31 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a recovered task panic converts to: one bad grid
+// cell surfaces as a per-task failure — with the index that reproduces it
+// deterministically via TaskSeed — instead of a goroutine crash taking down
+// the whole sweep. errors.As recovers the index, original value and stack.
+type PanicError struct {
+	// Index is the task index whose fn panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+// Error formats the panic like the pre-typed error string did.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
 
 // Task computes one grid cell of an experiment. The index it receives is
 // its position in the task list handed to Run.
@@ -29,18 +49,30 @@ func Workers(n int) int {
 // of the task list — the byte-identity half of the determinism contract.
 // A nil or empty task list returns an empty result slice.
 func Run[T any](workers int, tasks []Task[T]) ([]T, error) {
+	return RunContext(context.Background(), workers, tasks)
+}
+
+// RunContext is Run under a context: when ctx is cancelled no new tasks are
+// dispatched (exactly like a task failure), in-flight tasks finish, and the
+// results computed so far are returned together with the context's error —
+// the experiments grids drain cleanly on SIGINT instead of being killed
+// mid-table. A task error still takes precedence over the context error.
+func RunContext[T any](ctx context.Context, workers int, tasks []Task[T]) ([]T, error) {
 	results := make([]T, len(tasks))
 	errs := make([]error, len(tasks))
-	// ForEach owns the pool; Run adds the result slice on top. Each index
-	// is executed exactly once and writes only its own slots, so the
-	// collection is race-free, and firstError reproduces the
-	// lowest-indexed-error contract (ForEach's own return value is the
-	// same error, discarded in favour of the recorded slice).
-	_ = ForEach(workers, len(tasks), func(i int) error {
+	// ForEachContext owns the pool; RunContext adds the result slice on
+	// top. Each index is executed exactly once and writes only its own
+	// slots, so the collection is race-free, and firstError reproduces the
+	// lowest-indexed-error contract (the ForEachContext return value only
+	// contributes the context error, when no task failed).
+	ctxErr := ForEachContext(ctx, workers, len(tasks), func(i int) error {
 		results[i], errs[i] = runTask(tasks[i], i)
 		return errs[i]
 	})
-	return results, firstError(errs)
+	if err := firstError(errs); err != nil {
+		return results, err
+	}
+	return results, ctxErr
 }
 
 // ForEach executes fn(0..n-1) on up to workers goroutines without
@@ -52,8 +84,17 @@ func Run[T any](workers int, tasks []Task[T]) ([]T, error) {
 // finish), panics converted to errors, and the lowest-indexed error
 // returned.
 func ForEach(workers, n int, fn func(index int) error) error {
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach under a context: cancellation behaves like a
+// task failure — no new indices are dispatched, in-flight tasks finish, and
+// the context's error is returned (unless a task error occurred first;
+// task errors keep precedence so a cancelled failing campaign still reports
+// its real failure).
+func ForEachContext(ctx context.Context, workers, n int, fn func(index int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -62,13 +103,17 @@ func ForEach(workers, n int, fn func(index int) error) error {
 	guard := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 			}
 		}()
 		return fn(i)
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := guard(i); err != nil {
 				return err
 			}
@@ -100,15 +145,82 @@ func ForEach(workers, n int, fn func(index int) error) error {
 			}
 		}()
 	}
+	cancelled := false
+dispatch:
 	for i := 0; i < n; i++ {
 		if failed.Load() {
 			break
 		}
+		if done == nil {
+			next <- i
+			continue
+		}
+		select {
+		case <-done:
+			cancelled = true
+			break dispatch
+		case next <- i:
+		}
+	}
+	close(next)
+	wg.Wait()
+	if minErr != nil {
+		return minErr
+	}
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForEachAll is the draining variant of ForEach: every index runs to
+// completion regardless of failures — a campaign that must report all of
+// its cells (the chaos harness's panic-containment battery) instead of
+// stopping at the first bad one. It returns one error slot per index; with
+// errors.As a *PanicError slot yields the failing task's index, so the
+// caller can recompute its deterministic TaskSeed.
+func ForEachAll(workers, n int, fn func(index int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	guard := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = guard(i)
+		}
+		return errs
+	}
+	var (
+		next = make(chan int)
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = guard(i) // disjoint slots: race-free
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return minErr
+	return errs
 }
 
 // runTask invokes one task, converting a panic into an error so a single
@@ -116,7 +228,7 @@ func ForEach(workers, n int, fn func(index int) error) error {
 func runTask[T any](t Task[T], i int) (res T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return t(i)

@@ -1,18 +1,62 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
 // poolTask is one chunk dispatch: fn applied to the half-open range
-// [lo, hi) on behalf of worker index worker. The wait group belongs to the
-// Run call that dispatched the task.
+// [lo, hi) on behalf of worker index worker. The wait group and panic box
+// belong to the Run call that dispatched the task.
 type poolTask struct {
 	fn     func(worker, lo, hi int)
 	worker int
 	lo, hi int
 	wg     *sync.WaitGroup
+	pan    *panicBox
+}
+
+// TaskPanic is the value Pool.Run re-panics with on the dispatching
+// goroutine when a worker's fn panicked: a panic on a pool goroutine cannot
+// be recovered by the caller directly, so the worker captures it (value and
+// stack) and Run re-raises it where the caller's own recover — the engine's
+// round guard, sim.Engine.Step — can see it. It implements error so
+// recovered values format usefully.
+type TaskPanic struct {
+	// Worker is the chunk/worker index whose fn panicked (the lowest one,
+	// if several panicked in the same Run).
+	Worker int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack.
+	Stack []byte
+}
+
+// Error formats the panic; the captured stack is available separately.
+func (tp *TaskPanic) Error() string {
+	return fmt.Sprintf("parallel: pool worker %d panicked: %v", tp.Worker, tp.Value)
+}
+
+// panicBox collects at most one worker panic per Run call, keeping the
+// lowest worker index so the surfaced panic is deterministic when several
+// chunks fail at once.
+type panicBox struct {
+	mu  sync.Mutex
+	set bool
+	tp  TaskPanic
+}
+
+// record stores the panic unless a lower-indexed worker already did.
+func (b *panicBox) record(worker int, v any, stack []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.set && b.tp.Worker <= worker {
+		return
+	}
+	b.set = true
+	b.tp = TaskPanic{Worker: worker, Value: v, Stack: stack}
 }
 
 // Pool is a fixed set of persistent worker goroutines for phase-kernel
@@ -38,6 +82,9 @@ type Pool struct {
 	tasks   chan poolTask
 	wg      sync.WaitGroup
 	once    sync.Once
+	// pan is reused across Run calls (Run is not reentrant, so one box
+	// suffices and the steady state stays allocation-free).
+	pan panicBox
 }
 
 // NewPool starts workers goroutines (minimum 1) and returns the pool.
@@ -64,11 +111,17 @@ func NewPool(workers int) *Pool {
 	return p
 }
 
-// run executes one task, releasing its wait-group slot even when fn
-// panics (the panic then crashes the process like any unrecovered worker
-// panic, instead of deadlocking the dispatching Run call).
+// run executes one task. A panicking fn is recovered into the Run call's
+// panic box — never crashing the process from a worker goroutine — and the
+// wait-group slot is released on every path, so the dispatching Run call
+// can finish the round's fan-out and re-raise the panic itself.
 func run(t poolTask) {
 	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.pan.record(t.worker, r, debug.Stack())
+		}
+	}()
 	t.fn(t.worker, t.lo, t.hi)
 }
 
@@ -78,12 +131,24 @@ func (p *Pool) Workers() int { return p.workers }
 // Run splits [0, n) into one contiguous chunk per worker and blocks until
 // fn has been applied to all of them. fn must be safe to call concurrently
 // for disjoint ranges and must treat its range as its only writable domain.
+//
+// If any chunk's fn panics, the remaining chunks still complete, and Run
+// then panics on the calling goroutine with a *TaskPanic carrying the
+// (lowest) panicking worker's index, value and stack. The pool itself stays
+// usable — fault containment is the caller's recover's job.
 func (p *Pool) Run(n int, fn func(worker, lo, hi int)) {
+	// All workers of the previous Run have finished (wg.Wait below), so the
+	// unlocked reset cannot race with a worker's record.
+	p.pan.set = false
 	p.wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		p.tasks <- poolTask{fn: fn, worker: w, lo: w * n / p.workers, hi: (w + 1) * n / p.workers, wg: &p.wg}
+		p.tasks <- poolTask{fn: fn, worker: w, lo: w * n / p.workers, hi: (w + 1) * n / p.workers, wg: &p.wg, pan: &p.pan}
 	}
 	p.wg.Wait()
+	if p.pan.set {
+		tp := p.pan.tp
+		panic(&tp)
+	}
 }
 
 // Close stops the workers. It is idempotent and safe to call while no Run

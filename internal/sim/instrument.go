@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"sort"
+
 	"gridgather/internal/core"
 )
 
@@ -148,12 +151,99 @@ func (t *pairTracker) observe(rep core.RoundReport, chainLenBefore int) {
 	}
 }
 
-// finish computes the end-of-simulation statistics.
+// finish computes the end-of-simulation statistics. It never mutates the
+// tracker, so it is idempotent: the run lifecycle calls it on every exit
+// path and again for mid-run checkpoints, and repeated calls must not
+// double-count unresolved pairs.
 func (t *pairTracker) finish() PairStats {
+	stats := t.stats
 	for _, rec := range t.pairs {
 		if rec.Progress && rec.MergeRound < 0 {
-			t.stats.ProgressUnresolved++
+			stats.ProgressUnresolved++
 		}
 	}
-	return t.stats
+	return stats
+}
+
+// trackerState is the serialisable form of a pairTracker (checkpoint
+// codec, DESIGN.md §11). The map-backed state is flattened into
+// deterministically sorted slices so encoding the same engine state twice
+// yields identical bytes.
+type trackerState struct {
+	// Pairs holds every pair record, sorted by pair ID.
+	Pairs []PairRecord `json:"pairs,omitempty"`
+	// RunPairs lists (run ID, pair ID) membership edges, sorted by run ID.
+	RunPairs [][2]int `json:"runPairs,omitempty"`
+	// Creditors lists (merge round, merge robot, creditor pair ID)
+	// triples, sorted by round then robot.
+	Creditors [][3]int  `json:"creditors,omitempty"`
+	LastMerge int       `json:"lastMerge"`
+	Stats     PairStats `json:"stats"`
+}
+
+// snapshot flattens the tracker. The records are copied by value — the
+// snapshot shares no memory with the live tracker.
+func (t *pairTracker) snapshot() trackerState {
+	s := trackerState{
+		Pairs:     make([]PairRecord, 0, len(t.pairs)),
+		RunPairs:  make([][2]int, 0, len(t.runToPair)),
+		Creditors: make([][3]int, 0, len(t.creditors)),
+		LastMerge: t.lastMerge,
+		Stats:     t.stats,
+	}
+	for _, rec := range t.pairs {
+		s.Pairs = append(s.Pairs, *rec)
+	}
+	sort.Slice(s.Pairs, func(i, j int) bool { return s.Pairs[i].ID < s.Pairs[j].ID })
+	for runID, rec := range t.runToPair {
+		s.RunPairs = append(s.RunPairs, [2]int{runID, rec.ID})
+	}
+	sort.Slice(s.RunPairs, func(i, j int) bool { return s.RunPairs[i][0] < s.RunPairs[j][0] })
+	for key, id := range t.creditors {
+		s.Creditors = append(s.Creditors, [3]int{key[0], key[1], id})
+	}
+	sort.Slice(s.Creditors, func(i, j int) bool {
+		a, b := s.Creditors[i], s.Creditors[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	return s
+}
+
+// restore replaces the tracker's state with the snapshot's, rebuilding the
+// record-identity aliasing (runToPair entries point at the same records
+// pairs holds) that observe relies on. It validates the referential claims
+// the snapshot makes; the checkpoint layer wraps failures in
+// ErrCheckpointCorrupt.
+func (t *pairTracker) restore(s trackerState) error {
+	pairs := make(map[int]*PairRecord, len(s.Pairs))
+	for i := range s.Pairs {
+		rec := s.Pairs[i]
+		if _, dup := pairs[rec.ID]; dup {
+			return fmt.Errorf("pair tracker: duplicate pair %d", rec.ID)
+		}
+		pairs[rec.ID] = &rec
+	}
+	runToPair := make(map[int]*PairRecord, len(s.RunPairs))
+	for _, rp := range s.RunPairs {
+		rec, ok := pairs[rp[1]]
+		if !ok {
+			return fmt.Errorf("pair tracker: run %d maps to unknown pair %d", rp[0], rp[1])
+		}
+		if _, dup := runToPair[rp[0]]; dup {
+			return fmt.Errorf("pair tracker: run %d mapped twice", rp[0])
+		}
+		runToPair[rp[0]] = rec
+	}
+	creditors := make(map[[2]int]int, len(s.Creditors))
+	for _, c := range s.Creditors {
+		creditors[[2]int{c[0], c[1]}] = c[2]
+	}
+	t.pairs, t.runToPair, t.creditors = pairs, runToPair, creditors
+	t.lastMerge = s.LastMerge
+	t.stats = s.Stats
+	clear(t.seen)
+	return nil
 }

@@ -1,0 +1,512 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"gridgather/internal/chain"
+	"gridgather/internal/core"
+	"gridgather/internal/generate"
+	"gridgather/internal/parallel"
+	"gridgather/internal/sched"
+	"gridgather/internal/sim"
+)
+
+// stepN executes up to n rounds, stopping early when the run ends.
+func stepN(t *testing.T, e *sim.Engine, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		cont, err := e.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if !cont {
+			return
+		}
+	}
+}
+
+// resultJSON renders a Result exactly like the golden fixtures do.
+func resultJSON(t *testing.T, res sim.Result) []byte {
+	t.Helper()
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(got, '\n')
+}
+
+// checkpointRoundTrip pushes a checkpoint through its full on-disk codec.
+func checkpointRoundTrip(t *testing.T, e *sim.Engine) *sim.Checkpoint {
+	t.Helper()
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	data, err := cp.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := sim.DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	return back
+}
+
+// TestCheckpointResumeMatchesGolden is the checkpoint battery of DESIGN.md
+// §11: for every golden workload (both strategies), run k rounds, take a
+// checkpoint, push it through the byte codec, restore at Workers 1 and 4,
+// and finish — the resumed Result must be byte-identical to the committed
+// fixture of the uninterrupted run.
+func TestCheckpointResumeMatchesGolden(t *testing.T) {
+	for _, w := range goldenWorkloads() {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", w.name+".json"))
+			if err != nil {
+				t.Skipf("missing fixture: %v", err)
+			}
+			var full sim.Result
+			if err := json.Unmarshal(want, &full); err != nil {
+				t.Fatal(err)
+			}
+			rounds := map[int]bool{}
+			for _, k := range []int{1, full.Rounds / 3, full.Rounds / 2, full.Rounds - 1} {
+				if k > 0 && k < full.Rounds {
+					rounds[k] = true
+				}
+			}
+			for k := range rounds {
+				for _, workers := range []int{1, 4} {
+					t.Run(strconv.Itoa(k)+"_w"+strconv.Itoa(workers), func(t *testing.T) {
+						ch, err := w.build()
+						if err != nil {
+							t.Fatal(err)
+						}
+						e, err := sim.NewEngine(ch, sim.Options{CheckInvariants: true, Strategy: w.strategy})
+						if err != nil {
+							t.Fatal(err)
+						}
+						stepN(t, e, k)
+						cp := checkpointRoundTrip(t, e)
+						if cp.Result.Rounds != k {
+							t.Fatalf("checkpoint Result.Rounds = %d, want %d", cp.Result.Rounds, k)
+						}
+						rt, err := sim.Restore(cp, sim.Options{CheckInvariants: true, Workers: workers})
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := rt.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := resultJSON(t, res); !bytes.Equal(got, want) {
+							t.Errorf("resumed Result diverged from fixture\ngot:\n%s\nwant:\n%s", got, want)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeNonFSYNC covers the scheduler-replay half of the
+// checkpoint contract: under every non-FSYNC scheduler kind, a run resumed
+// from a mid-run checkpoint must reproduce the uninterrupted run's Result
+// exactly — which requires the restored scheduler's RNG state to match.
+func TestCheckpointResumeNonFSYNC(t *testing.T) {
+	scheds := []sched.Config{
+		{Kind: sched.RoundRobin, K: 3},
+		{Kind: sched.BoundedAdversary, K: 3, Seed: 9},
+		{Kind: sched.Random, Seed: 5},
+	}
+	for _, sc := range scheds {
+		for _, strategy := range []core.StrategyName{core.StrategyPaper, core.StrategyLinTime} {
+			// LinTime's contraction stalls under stochastic activation (it
+			// has no liveness argument outside FSYNC/RoundRobin), so only
+			// the deterministic scheduler exercises it here.
+			if strategy == core.StrategyLinTime && sc.Kind != sched.RoundRobin {
+				continue
+			}
+			t.Run(sc.String()+"/"+strategy.String(), func(t *testing.T) {
+				opts := sim.Options{Sched: sc, Strategy: strategy}
+				ch, err := generate.Spiral(6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := sim.Gather(ch.Clone(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := resultJSON(t, ref)
+				for _, k := range []int{1, ref.Rounds / 2} {
+					e, err := sim.NewEngine(ch.Clone(), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					stepN(t, e, k)
+					cp := checkpointRoundTrip(t, e)
+					if len(cp.SchedLens) != k {
+						t.Fatalf("ckpt@%d: %d scheduler rounds recorded", k, len(cp.SchedLens))
+					}
+					rt, err := sim.Restore(cp, sim.Options{Workers: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := rt.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := resultJSON(t, res); !bytes.Equal(got, want) {
+						t.Errorf("ckpt@%d: resumed Result diverged\ngot:\n%s\nwant:\n%s", k, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRejectsCorruption flips every single byte of an encoded
+// checkpoint and demands the codec (or, at worst, Restore) reject it — the
+// CRC envelope's whole job — plus the targeted error paths: version skew,
+// artefact confusion, truncation, and semantic lies that decode cleanly.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	ch, err := generate.Rectangle(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(ch, sim.Options{Sched: sched.Config{Kind: sched.BoundedAdversary, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, e, 3)
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("every byte flip detected", func(t *testing.T) {
+		mut := make([]byte, len(data))
+		for i := range data {
+			copy(mut, data)
+			mut[i] ^= 0xff
+			bad, err := sim.DecodeCheckpoint(mut)
+			if err == nil {
+				_, err = sim.Restore(bad, sim.Options{})
+			}
+			if err == nil {
+				t.Fatalf("flipping byte %d went undetected", i)
+			}
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		var env map[string]json.RawMessage
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		env["version"] = json.RawMessage("99")
+		mut, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.DecodeCheckpoint(mut); !errors.Is(err, sim.ErrCheckpointVersion) {
+			t.Fatalf("got %v, want ErrCheckpointVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := sim.DecodeCheckpoint(data[:len(data)/2]); !errors.Is(err, sim.ErrCheckpointCorrupt) {
+			t.Fatalf("got %v, want ErrCheckpointCorrupt", err)
+		}
+	})
+	t.Run("bundle is not a checkpoint", func(t *testing.T) {
+		enc, err := (&sim.Bundle{Scenario: ch.Clone(), Err: "x", Round: -1}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.DecodeCheckpoint(enc); !errors.Is(err, sim.ErrCheckpointCorrupt) {
+			t.Fatalf("got %v, want ErrCheckpointCorrupt", err)
+		}
+		if _, err := sim.DecodeBundle(data); !errors.Is(err, sim.ErrBundleCorrupt) {
+			t.Fatalf("got %v, want ErrBundleCorrupt", err)
+		}
+	})
+	t.Run("scheduler replay length lie", func(t *testing.T) {
+		bad, err := sim.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.SchedLens = bad.SchedLens[:len(bad.SchedLens)-1]
+		if _, err := sim.Restore(bad, sim.Options{}); !errors.Is(err, sim.ErrCheckpointCorrupt) {
+			t.Fatalf("got %v, want ErrCheckpointCorrupt", err)
+		}
+	})
+	t.Run("impossible initial length", func(t *testing.T) {
+		bad, err := sim.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.Result.InitialLen = 0
+		if _, err := sim.Restore(bad, sim.Options{}); !errors.Is(err, sim.ErrCheckpointCorrupt) {
+			t.Fatalf("got %v, want ErrCheckpointCorrupt", err)
+		}
+	})
+}
+
+// TestBundleRoundTrip exercises the diagnostic-bundle codec end to end,
+// including the file helpers and the embedded-checkpoint field.
+func TestBundleRoundTrip(t *testing.T) {
+	ch, err := generate.Spiral(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(ch.Clone(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, e, 2)
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpBytes, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &sim.Bundle{
+		Label:      "unit",
+		Seed:       parallel.TaskSeed(1, 2, 3),
+		Scenario:   ch.Clone(),
+		Config:     core.DefaultConfig(),
+		Strategy:   core.StrategyPaper,
+		Round:      2,
+		Err:        "injected",
+		Checkpoint: cpBytes,
+	}
+	path := filepath.Join(t.TempDir(), "fail.bundle")
+	if err := sim.WriteBundle(path, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sim.ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != b.Label || back.Seed != b.Seed || back.Round != 2 || back.Err != "injected" {
+		t.Fatalf("bundle fields lost: %+v", back)
+	}
+	if got, want := back.Scenario.Positions(), ch.Positions(); len(got) != len(want) {
+		t.Fatalf("scenario lost robots: %d vs %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("scenario position %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+	rcp, err := sim.DecodeCheckpoint(back.Checkpoint)
+	if err != nil {
+		t.Fatalf("embedded checkpoint: %v", err)
+	}
+	if _, err := sim.Restore(rcp, sim.Options{}); err != nil {
+		t.Fatalf("embedded checkpoint does not restore: %v", err)
+	}
+
+	t.Run("corrupt file rejected", func(t *testing.T) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x01
+		bad := filepath.Join(t.TempDir(), "bad.bundle")
+		if err := os.WriteFile(bad, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.ReadBundle(bad); err == nil {
+			t.Fatal("corrupt bundle accepted")
+		}
+	})
+	t.Run("missing scenario rejected", func(t *testing.T) {
+		enc, err := (&sim.Bundle{Err: "x"}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.DecodeBundle(enc); !errors.Is(err, sim.ErrBundleCorrupt) {
+			t.Fatalf("got %v, want ErrBundleCorrupt", err)
+		}
+	})
+}
+
+// TestRunContextCancellation cancels a run from its observer and verifies
+// the three-way contract: the error wraps context.Canceled, the partial
+// Result is sealed at a round boundary, and a checkpoint taken after the
+// cancellation resumes to the exact uninterrupted outcome.
+func TestRunContextCancellation(t *testing.T) {
+	build := func() *chain.Chain {
+		ch, err := generate.Spiral(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	ref, err := sim.Gather(build(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, ref)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const stopAt = 5
+	opts := sim.Options{Observer: sim.ObserverFunc(func(_ *chain.Chain, rep core.RoundReport) {
+		if rep.Round == stopAt-1 {
+			cancel()
+		}
+	})}
+	e, err := sim.NewEngine(build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res.Rounds != stopAt {
+		t.Fatalf("cancelled at round boundary %d, want %d", res.Rounds, stopAt)
+	}
+	if res.Gathered {
+		t.Fatal("cancelled run claims gathering")
+	}
+	if res.FinalLen != e.Chain().Len() {
+		t.Fatalf("torn result: FinalLen %d, chain has %d", res.FinalLen, e.Chain().Len())
+	}
+
+	cp := checkpointRoundTrip(t, e)
+	rt, err := sim.Restore(cp, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Errorf("resume after cancel diverged\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRunDeadline covers both wall-clock options: an already-expired
+// absolute Deadline and a tiny MaxWallTime must abort with ErrDeadline and
+// an untorn zero-round Result.
+func TestRunDeadline(t *testing.T) {
+	for name, opts := range map[string]sim.Options{
+		"absolute": {Deadline: time.Now().Add(-time.Second)},
+		"relative": {MaxWallTime: time.Nanosecond},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ch, err := generate.Spiral(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Gather(ch, opts)
+			if !errors.Is(err, sim.ErrDeadline) {
+				t.Fatalf("got %v, want ErrDeadline", err)
+			}
+			if res.Rounds != 0 || res.Gathered {
+				t.Fatalf("expired deadline still ran: %+v", res)
+			}
+			if res.FinalLen != res.InitialLen {
+				t.Fatalf("torn result: FinalLen %d, InitialLen %d", res.FinalLen, res.InitialLen)
+			}
+		})
+	}
+}
+
+// TestEnginePanicPoisons injects a kernel panic at a chosen round and pins
+// the containment contract: Step surfaces a *PanicError carrying the round
+// (and, under Workers>1, the pool worker's identity via TaskPanic), the
+// engine stays poisoned, and Checkpoint refuses.
+func TestEnginePanicPoisons(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run("workers_"+strconv.Itoa(workers), func(t *testing.T) {
+			ch, err := generate.Spiral(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := sim.NewEngine(ch, sim.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const panicAt = 3
+			e.Algorithm().InjectFaultAt(core.FaultPanic, panicAt)
+			res, err := e.Run()
+			var pe *sim.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %v (%T), want *sim.PanicError", err, err)
+			}
+			if pe.Round != panicAt {
+				t.Fatalf("panic in round %d, want %d", pe.Round, panicAt)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("no stack captured")
+			}
+			if workers > 1 {
+				var tp *parallel.TaskPanic
+				if !errors.As(err, &tp) {
+					t.Fatalf("worker panic lost its pool identity: %v", err)
+				}
+				if len(tp.Stack) == 0 {
+					t.Fatal("no worker stack captured")
+				}
+			}
+			if res.Rounds != panicAt || res.Gathered {
+				t.Fatalf("result not sealed at the failing round: %+v", res)
+			}
+			// Poisoned: the same error again, and no checkpoints.
+			if _, err2 := e.Step(); !errors.Is(err2, err) {
+				t.Fatalf("second Step returned %v, want the poisoning error", err2)
+			}
+			if _, err := e.Checkpoint(); err == nil {
+				t.Fatal("Checkpoint accepted a poisoned engine")
+			}
+		})
+	}
+}
+
+// TestLimitSaturates pins the overflow behaviour of the watchdog budget:
+// absurd factors act as "no watchdog" (math.MaxInt) instead of wrapping
+// negative and killing round 0 — with and without scheduler rate scaling.
+func TestLimitSaturates(t *testing.T) {
+	for name, opts := range map[string]sim.Options{
+		"factor":       {WatchdogFactor: math.MaxInt},
+		"slack":        {WatchdogSlack: math.MaxInt},
+		"factor+sched": {WatchdogFactor: math.MaxInt, Sched: sched.Config{Kind: sched.Random, Seed: 1}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ch, err := generate.Spiral(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := sim.NewEngine(ch, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Limit() != math.MaxInt {
+				t.Fatalf("Limit() = %d, want math.MaxInt", e.Limit())
+			}
+			if cont, err := e.Step(); err != nil || !cont {
+				t.Fatalf("round 0 under a saturated limit: cont=%v err=%v", cont, err)
+			}
+		})
+	}
+}

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
+	"time"
 
 	"gridgather/internal/chain"
 	"gridgather/internal/core"
@@ -48,6 +51,16 @@ type Options struct {
 	// schedulers scale the default watchdog limit by the inverse of the
 	// scheduler's minimum activation rate.
 	Sched sched.Config
+	// Deadline, when non-zero, aborts Run/RunContext at the first round
+	// boundary at or after the wall-clock instant, returning ErrDeadline
+	// with an untorn partial Result (DESIGN.md §11). Wall-clock limits are
+	// runtime-side knobs: they never enter checkpoints, and a resumed run
+	// gets whatever limits the resuming process configures.
+	Deadline time.Time
+	// MaxWallTime is the relative form of Deadline, measured from the
+	// moment RunContext starts; when both are set the earlier instant
+	// wins. Zero means no wall-clock limit.
+	MaxWallTime time.Duration
 	// Workers, when positive, overrides Config.Workers: the intra-round
 	// parallelism of the engine's phase kernels (core/kernels.go). The
 	// observable simulation is byte-identical for every value — workers
@@ -115,11 +128,47 @@ func (r Result) RoundsPerRobot() float64 {
 	return float64(r.Rounds) / float64(r.InitialLen)
 }
 
-// Watchdog and invariant errors.
+// Watchdog, invariant and lifecycle errors.
 var (
 	ErrWatchdog  = errors.New("sim: watchdog expired before gathering (liveness failure)")
 	ErrInvariant = errors.New("sim: safety invariant violated")
+	// ErrDeadline aborts a run whose Options.Deadline/MaxWallTime passed
+	// before gathering. Like a cancellation it is a clean round-boundary
+	// stop: the returned Result is complete for the rounds executed.
+	ErrDeadline = errors.New("sim: wall-clock limit reached before gathering")
 )
+
+// PanicError is what a panicking round surfaces as: Step recovers a panic
+// escaping the strategy — including a *parallel.TaskPanic re-raised from a
+// worker goroutine by the pool — wraps it with the round it happened in,
+// and poisons the engine (every further Step and Checkpoint refuses),
+// because a half-executed round may have left the chain mid-mutation and
+// nothing downstream may trust it again. The campaign layers convert it
+// into a per-task failure instead of a process crash (DESIGN.md §11).
+type PanicError struct {
+	// Round is the round counter at the time of the panic.
+	Round int
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack of the goroutine the panic was recovered on; a
+	// pool-worker panic additionally carries the worker's own stack inside
+	// Value (*parallel.TaskPanic).
+	Stack []byte
+}
+
+// Error renders the failure with its round.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: strategy panicked in round %d: %v", e.Round, e.Value)
+}
+
+// Unwrap exposes a panic value that is itself an error (such as
+// *parallel.TaskPanic), so errors.As reaches the worker identity.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Engine wraps a core.Strategy with checking and accounting.
 type Engine struct {
@@ -132,6 +181,15 @@ type Engine struct {
 	// set it fills (nil-passed to the algorithm on the FSYNC fast path).
 	sched     sched.Scheduler
 	activeBuf []bool
+	// schedLens records, for every executed non-FSYNC round, the chain
+	// length its activation set was drawn for; replaying Activate over it
+	// rebuilds the scheduler's RNG state exactly (checkpoint.go). Always
+	// empty on the FSYNC fast path.
+	schedLens []int
+	// broken poisons the engine after a recovered strategy panic: every
+	// further Step returns the same *PanicError and Checkpoint refuses, so
+	// a half-mutated round can never leak into results or resume artefacts.
+	broken error
 
 	mergeGap int
 	// prevPos and occupancy are per-round scratch for the invariant
@@ -200,23 +258,49 @@ func (e *Engine) Limit() int { return e.limit() }
 // limit returns the watchdog bound for this simulation. Under a non-FSYNC
 // scheduler the FSYNC budget is scaled by the inverse of the scheduler's
 // minimum activation rate: a robot activated every k-th round can need k
-// times the rounds for the same progress.
+// times the rounds for the same progress. Every arithmetic step saturates
+// at math.MaxInt: an absurd WatchdogFactor must act as "no watchdog", never
+// wrap into a negative limit that aborts round 0.
 func (e *Engine) limit() int {
 	if e.opts.MaxRounds > 0 {
 		return e.opts.MaxRounds
 	}
-	base := e.opts.WatchdogFactor*e.res.InitialLen + e.opts.WatchdogSlack
+	base := satAdd(satMul(e.opts.WatchdogFactor, e.res.InitialLen), e.opts.WatchdogSlack)
 	if e.sched != nil && !e.sched.FullySync() {
 		if rate := e.sched.MinActivationRate(e.res.InitialLen); rate > 0 && rate < 1 {
-			base = int(math.Ceil(float64(base) / rate))
+			if scaled := math.Ceil(float64(base) / rate); scaled < math.MaxInt {
+				base = int(scaled)
+			} else {
+				base = math.MaxInt
+			}
 		}
 	}
 	return base
 }
 
+// satMul returns a*b for non-negative operands, saturating at math.MaxInt.
+func satMul(a, b int) int {
+	if a > 0 && b > 0 && a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+// satAdd returns a+b for non-negative operands, saturating at math.MaxInt.
+func satAdd(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
 // Step executes one round. It returns true while the simulation should
-// continue (not yet gathered).
+// continue (not yet gathered). After a recovered round panic the engine is
+// poisoned: every further Step returns the same *PanicError.
 func (e *Engine) Step() (bool, error) {
+	if e.broken != nil {
+		return false, e.broken
+	}
 	if e.alg.Gathered() {
 		e.res.Gathered = true
 		return false, nil
@@ -229,7 +313,7 @@ func (e *Engine) Step() (bool, error) {
 		e.snapshotPositions()
 	}
 	lenBefore := e.Chain().Len()
-	rep, err := e.alg.StepActivated(e.activate())
+	rep, err := e.stepAlg(e.activate())
 	if err != nil {
 		return false, err
 	}
@@ -250,27 +334,73 @@ func (e *Engine) Step() (bool, error) {
 	return true, nil
 }
 
+// stepAlg runs one strategy round under a recover guard: a panic anywhere
+// in the round — the strategy's own code or a *parallel.TaskPanic re-raised
+// by the worker pool — becomes a *PanicError and permanently poisons the
+// engine, because the chain may be mid-mutation and nothing downstream may
+// trust it again.
+func (e *Engine) stepAlg(active []bool) (rep core.RoundReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Round: e.alg.Round(), Value: r, Stack: debug.Stack()}
+			e.broken = pe
+			err = pe
+		}
+	}()
+	return e.alg.StepActivated(active)
+}
+
 // Run executes rounds until the chain gathers or an error occurs. On an
 // abort (watchdog, invariant violation, algorithm error) the result still
 // records the rounds executed and the surviving chain length, with
 // Gathered left false — DNF rows in the ablation experiments report the
 // honest end state instead of zero robots.
 func (e *Engine) Run() (Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run under a context and the wall-clock options: between
+// rounds it checks ctx and Options.Deadline/MaxWallTime, so cancellation
+// and deadlines always land on a round boundary — the returned Result is
+// never torn, and (unless the engine is poisoned) a checkpoint taken after
+// the return resumes exactly where the run stopped. A cancelled run returns
+// an error wrapping ctx.Err(); a timed-out one wraps ErrDeadline.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
+	deadline := e.wallDeadline()
 	for {
-		cont, err := e.Step()
-		if err != nil {
-			e.res.Rounds = e.alg.Round()
-			e.res.FinalLen = e.Chain().Len()
-			e.res.Pairs = e.tracker.finish()
-			return e.res, err
+		if err := ctx.Err(); err != nil {
+			return e.finish(fmt.Errorf("sim: run interrupted after %d rounds: %w", e.alg.Round(), err))
 		}
-		if !cont {
-			e.res.Rounds = e.alg.Round()
-			e.res.FinalLen = e.Chain().Len()
-			e.res.Pairs = e.tracker.finish()
-			return e.res, nil
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return e.finish(fmt.Errorf("%w: %d rounds executed, %d robots remain", ErrDeadline, e.alg.Round(), e.Chain().Len()))
+		}
+		cont, err := e.Step()
+		if err != nil || !cont {
+			return e.finish(err)
 		}
 	}
+}
+
+// wallDeadline folds Options.Deadline and Options.MaxWallTime (anchored at
+// the call) into one instant; zero means no limit.
+func (e *Engine) wallDeadline() time.Time {
+	d := e.opts.Deadline
+	if e.opts.MaxWallTime > 0 {
+		if rel := time.Now().Add(e.opts.MaxWallTime); d.IsZero() || rel.Before(d) {
+			d = rel
+		}
+	}
+	return d
+}
+
+// finish seals the Result at the current round boundary — on every exit
+// path, success or not, so callers always see Rounds/FinalLen/Pairs
+// consistent with each other.
+func (e *Engine) finish(err error) (Result, error) {
+	e.res.Rounds = e.alg.Round()
+	e.res.FinalLen = e.Chain().Len()
+	e.res.Pairs = e.tracker.finish()
+	return e.res, err
 }
 
 func (e *Engine) account(rep core.RoundReport) {
@@ -313,6 +443,7 @@ func (e *Engine) activate() []bool {
 	}
 	e.activeBuf = e.activeBuf[:n]
 	e.sched.Activate(e.alg.Round(), e.activeBuf)
+	e.schedLens = append(e.schedLens, n)
 	return e.activeBuf
 }
 
