@@ -408,6 +408,12 @@ func BenchmarkSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkServeCacheHit — the serving layer's content-addressed cache:
+// the per-request cost of answering an identical re-submission without
+// stepping the engine (internal/serve, DESIGN.md §12). Shared body with
+// the pinned trajectory via benchdefs.
+func BenchmarkServeCacheHit(b *testing.B) { benchdefs.ServeCacheHit(b) }
+
 // BenchmarkGeneratorSpiral — workload generation cost (boundary tracing).
 func BenchmarkGeneratorSpiral(b *testing.B) {
 	for i := 0; i < b.N; i++ {

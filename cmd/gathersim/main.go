@@ -217,6 +217,11 @@ func main() {
 			Strategy:        strategy,
 			Workers:         *workers,
 			MaxWallTime:     *maxWall,
+			// gathersim is the experimentation CLI: -mergelen exists to
+			// explore the E11 livelock boundary, so the doomed-config
+			// rejection (sim.ErrLivelockConfig) is opted out of here. The
+			// serving layer (gatherd) keeps the rejection on.
+			AllowLivelockConfig: true,
 		}
 		if rec != nil {
 			opts.Observer = rec

@@ -43,11 +43,13 @@ func RunPeriodOptions(period int) sim.Options {
 }
 
 // MergeLenOptions varies the merge detection length (paper analysis: 2;
-// implementation bound: viewing path length - 1).
+// implementation bound: viewing path length - 1). Reduced lengths provably
+// livelock square-ring endgames (E11), which is exactly what this ablation
+// measures, so it opts out of the sim.ErrLivelockConfig rejection.
 func MergeLenOptions(maxLen int) sim.Options {
 	cfg := core.DefaultConfig()
 	cfg.MaxMergeLen = maxLen
-	return sim.Options{Config: cfg}
+	return sim.Options{Config: cfg, AllowLivelockConfig: true}
 }
 
 // ViewOptions varies the viewing path length V (paper value 11). The run

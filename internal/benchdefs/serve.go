@@ -1,0 +1,64 @@
+package benchdefs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gridgather/internal/serve"
+)
+
+// ServeCacheHit measures the serving layer's centerpiece: answering an
+// identical re-submission from the content-addressed result cache. The
+// job is simulated exactly once off-timer; every iteration then POSTs the
+// same spec through the full HTTP handler stack and must get the pinned
+// result back without the engine stepping at all — the cost measured is
+// decode + chain rebuild + SHA-256 key + cache lookup + encode, the price
+// a hot cache pays per request.
+func ServeCacheHit(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 1})
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			b.Error(err)
+		}
+	}()
+	spec := []byte(`{"shape":"spiral","size":120}`)
+	post := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewReader(spec)))
+		return w
+	}
+	if w := post(); w.Code != http.StatusAccepted {
+		b.Fatalf("warm-up submit: status %d: %s", w.Code, w.Body)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/jobs/j1", nil))
+		var v struct{ Status string }
+		if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+			b.Fatal(err)
+		}
+		if v.Status == serve.StatusDone {
+			break
+		}
+		if v.Status != serve.StatusQueued && v.Status != serve.StatusRunning {
+			b.Fatalf("warm-up job ended %q: %s", v.Status, w.Body)
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("warm-up job did not finish in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := post(); w.Code != http.StatusOK {
+			b.Fatalf("iteration %d: status %d (want a 200 cache hit): %s", i, w.Code, w.Body)
+		}
+	}
+}

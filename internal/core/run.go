@@ -107,6 +107,12 @@ const (
 	// TermStuck is an engine safeguard for a run that can no longer act
 	// coherently (e.g. its advance target vanished twice in one round).
 	TermStuck
+	// TermStalled is the whole-simulation no-progress verdict: the engine
+	// observed a full activation window without a hop, a merge or a
+	// bounding-box change and terminated the run as a clean DNF instead of
+	// spinning to the watchdog limit (sim.ErrStalled). It never ends an
+	// individual run; sim.Result.Termination carries it.
+	TermStalled
 )
 
 // String names the reason.
@@ -126,6 +132,8 @@ func (t TerminateReason) String() string {
 		return "host-removed"
 	case TermStuck:
 		return "stuck"
+	case TermStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("TerminateReason(%d)", int(t))
 	}
@@ -141,6 +149,7 @@ var terminateReasonNames = map[TerminateReason]string{
 	TermOpTargetGone:   "operation-target-removed",
 	TermHostRemoved:    "host-removed",
 	TermStuck:          "stuck",
+	TermStalled:        "stalled",
 }
 
 // MarshalText encodes the reason as its name, so JSON maps keyed by

@@ -534,10 +534,14 @@ func gatherAblation(ch *chain.Chain, opts sim.Options) (ablationSample, error) {
 	s := ablationSample{n: n, rounds: fmt.Sprintf("%d", res.Rounds), status: "yes",
 		anomalies: res.Anomalies.Total()}
 	if err != nil {
-		if !errors.Is(err, sim.ErrWatchdog) {
+		switch {
+		case errors.Is(err, sim.ErrWatchdog):
+			s.rounds, s.status = "—", "no (watchdog)"
+		case errors.Is(err, sim.ErrStalled):
+			s.rounds, s.status = "—", "no (stalled)"
+		default:
 			return s, err
 		}
-		s.rounds, s.status = "—", "no (watchdog)"
 	}
 	return s, nil
 }
@@ -663,7 +667,7 @@ func E12Baselines(p Params) (Outcome, error) {
 				opt.MaxRounds = 120*n + 400
 				res, err := sim.Gather(ref.Clone(), opt)
 				if err != nil {
-					if !errors.Is(err, sim.ErrWatchdog) {
+					if !errors.Is(err, sim.ErrWatchdog) && !errors.Is(err, sim.ErrStalled) {
 						return nil, fmt.Errorf("E12 %s: %w", shape, err)
 					}
 					row = append(row, "DNF")

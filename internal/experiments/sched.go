@@ -60,7 +60,9 @@ func runSchedCell(p Params, shape string, sc sched.Config, rng *rand.Rand) (sche
 	n := ch.Len()
 	res, err := sim.Gather(ch, sim.Options{Sched: sc, Workers: p.EngineWorkers})
 	if err != nil {
-		if errors.Is(err, sim.ErrWatchdog) {
+		// Both DNF verdicts are first-class cells: the watchdog expiring,
+		// and the stall detector calling the livelock long before that.
+		if errors.Is(err, sim.ErrWatchdog) || errors.Is(err, sim.ErrStalled) {
 			return schedSample{n: n, rounds: res.Rounds, gathered: false}, nil
 		}
 		return schedSample{}, fmt.Errorf("E-sched %s %s: %w", shape, sc, err)

@@ -1,0 +1,28 @@
+package oracle
+
+import (
+	"testing"
+
+	"gridgather/internal/sim"
+)
+
+// TestConfigSpaceNeverLivelocks is the fuzz-axis guard of the E11 fix: the
+// campaign asserts liveness, so every configuration the selector byte can
+// reach must keep MaxMergeLen at its V-1 maximum and pass the engine's
+// livelock validation (sim.ErrLivelockConfig) — a future edit that lets a
+// doomed MaxMergeLen into the space would otherwise surface as silent DNF
+// noise deep inside a campaign instead of failing here.
+func TestConfigSpaceNeverLivelocks(t *testing.T) {
+	for sel := 0; sel < 256; sel++ {
+		cfg := ConfigFromByte(uint8(sel))
+		if cfg.MaxMergeLen != cfg.ViewingPathLength-1 {
+			t.Fatalf("selector %d: MaxMergeLen %d below the V-1 maximum %d",
+				sel, cfg.MaxMergeLen, cfg.ViewingPathLength-1)
+		}
+		for _, strat := range fuzzStrategies {
+			if err := (sim.Options{Config: cfg, Strategy: strat}).Validate(); err != nil {
+				t.Fatalf("selector %d strategy %v: %v", sel, strat, err)
+			}
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Checkpoint struct {
 	Result   Result       `json:"result"`
 	MergeGap int          `json:"mergeGap,omitempty"`
 	Tracker  trackerState `json:"tracker"`
+
+	// StallStreak is the no-progress round streak feeding the stall
+	// detector (sim.go): serialised so a resumed non-FSYNC run reaches its
+	// ErrStalled verdict at exactly the round the uninterrupted run would
+	// have. Zero (and absent) on FSYNC checkpoints and on checkpoints
+	// written before the detector existed.
+	StallStreak int `json:"stallStreak,omitempty"`
 }
 
 // Checkpoint captures the engine's complete state at the current round
@@ -100,6 +107,7 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 		Result:         res,
 		MergeGap:       e.mergeGap,
 		Tracker:        e.tracker.snapshot(),
+		StallStreak:    e.stallStreak,
 	}, nil
 }
 
@@ -154,6 +162,9 @@ func Restore(cp *Checkpoint, opts Options) (*Engine, error) {
 	if err := tracker.restore(cp.Tracker); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
 	}
+	if cp.StallStreak < 0 || cp.StallStreak > cp.Strat.Round {
+		return nil, fmt.Errorf("%w: stall streak %d after %d rounds", ErrCheckpointCorrupt, cp.StallStreak, cp.Strat.Round)
+	}
 
 	eopts := Options{
 		Config:          cfg,
@@ -181,13 +192,14 @@ func Restore(cp *Checkpoint, opts Options) (*Engine, error) {
 	res.EndsByReason = copyCountMap(cp.Result.EndsByReason)
 
 	return &Engine{
-		alg:       alg,
-		opts:      eopts,
-		res:       res,
-		tracker:   tracker,
-		sched:     schd,
-		mergeGap:  cp.MergeGap,
-		schedLens: append([]int(nil), cp.SchedLens...),
+		alg:         alg,
+		opts:        eopts,
+		res:         res,
+		tracker:     tracker,
+		sched:       schd,
+		mergeGap:    cp.MergeGap,
+		schedLens:   append([]int(nil), cp.SchedLens...),
+		stallStreak: cp.StallStreak,
 	}, nil
 }
 

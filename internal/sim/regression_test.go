@@ -112,7 +112,10 @@ func TestRegressionReducedMergeLengthOctagon(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := sim.Options{CheckInvariants: true}
+		// Reduced merge lengths are a deliberate ablation here (the 16x16
+		// square's endgame rings stay within reach of runs), so the E11
+		// livelock rejection is opted out of.
+		cfg := sim.Options{CheckInvariants: true, AllowLivelockConfig: true}
 		cfg.Config.ViewingPathLength = 11
 		cfg.Config.RunPeriod = 13
 		cfg.Config.MaxMergeLen = k

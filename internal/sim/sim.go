@@ -68,6 +68,51 @@ type Options struct {
 	// pins at Workers ∈ {1,2,4,8}. It is applied after Config defaulting,
 	// so Options{Workers: 4} composes with the zero Config.
 	Workers int
+	// AllowLivelockConfig opts into configurations that Validate rejects as
+	// provable livelocks — today MaxMergeLen < V-1 under the paper strategy,
+	// which parks every square-ring endgame whose side exceeds MaxMergeLen
+	// forever (experiment E11 and the stress sharpening in
+	// internal/oracle/configspace.go). The ablation harness and the
+	// experiment CLIs set it deliberately; the serving layer never does.
+	AllowLivelockConfig bool
+}
+
+// Validate checks the options the way NewEngine will: the (defaulted)
+// algorithm config, the scheduler config, the strategy name, and the
+// livelock rejection below. It is the admission check of the serving layer
+// (internal/serve): a job that fails Validate is refused before any engine
+// or chain is built.
+func (o Options) Validate() error {
+	cfg := o.Config
+	if cfg == (core.Config{}) {
+		cfg = core.DefaultConfig()
+	}
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if _, err := sched.New(o.Sched); err != nil {
+		return err
+	}
+	if _, err := core.ParseStrategy(string(o.Strategy)); err != nil {
+		return err
+	}
+	// The E11 livelock wall: under the paper strategy any MaxMergeLen below
+	// the V-1 maximum provably live-locks square-ring endgames whose side
+	// exceeds it — engine and model in perfect agreement, burning the whole
+	// watchdog budget before surfacing as a DNF. Reject up front unless the
+	// caller explicitly asked for the ablation. (cfg.Validate clamped
+	// MaxMergeLen into [1, V-1] above, so only genuinely reduced values
+	// reach this comparison.)
+	if o.Strategy == core.StrategyPaper && !o.AllowLivelockConfig &&
+		cfg.MaxMergeLen < cfg.ViewingPathLength-1 {
+		return fmt.Errorf("%w: MaxMergeLen %d < V-1 = %d parks every square-ring endgame with side > %d forever (E11); use MaxMergeLen = %d or set AllowLivelockConfig for deliberate ablations",
+			ErrLivelockConfig, cfg.MaxMergeLen, cfg.ViewingPathLength-1,
+			cfg.MaxMergeLen, cfg.ViewingPathLength-1)
+	}
+	return nil
 }
 
 // Observer receives the chain state after each executed round. The chain
@@ -98,6 +143,12 @@ type Result struct {
 	// fixtures recorded before the strategy arena stay byte-identical,
 	// and an absent field always means "paper".
 	Strategy core.StrategyName `json:"Strategy,omitempty"`
+	// Termination records the engine safeguard that ended the whole run
+	// early, when one did: core.TermStalled for the no-progress detector
+	// (ErrStalled). The zero value — a run that gathered, or DNFed some
+	// other way — is omitted from the JSON, so results and golden fixtures
+	// recorded before the detector stay byte-identical.
+	Termination core.TerminateReason `json:"Termination,omitempty"`
 	// Gathered reports success (false only when an error aborted the run).
 	Gathered bool
 
@@ -136,6 +187,20 @@ var (
 	// before gathering. Like a cancellation it is a clean round-boundary
 	// stop: the returned Result is complete for the rounds executed.
 	ErrDeadline = errors.New("sim: wall-clock limit reached before gathering")
+	// ErrStalled is the no-progress verdict under non-FSYNC schedulers: a
+	// full activation window passed without a single hop, merge or
+	// bounding-box change, so the simulation is at a fixpoint it cannot
+	// leave (the documented lintime suppression stall, and true scheduler
+	// livelocks of the paper strategy such as rr:5 on square rings). It is
+	// a clean, deterministic DNF — the Result is sealed at a round
+	// boundary with Termination = core.TermStalled, checkpoint/resume
+	// reproduces it exactly — surfaced orders of magnitude earlier than
+	// the watchdog limit.
+	ErrStalled = errors.New("sim: no progress across a full activation window (livelock)")
+	// ErrLivelockConfig rejects configurations known to livelock by
+	// construction rather than by bug: see Options.Validate and
+	// Options.AllowLivelockConfig.
+	ErrLivelockConfig = errors.New("sim: configuration provably livelocks")
 )
 
 // PanicError is what a panicking round surfaces as: Step recovers a panic
@@ -192,6 +257,16 @@ type Engine struct {
 	broken error
 
 	mergeGap int
+	// stallStreak counts consecutive executed rounds without progress (no
+	// hop, no merge, no bounding-box change) under a non-FSYNC scheduler.
+	// Once it reaches stallWindow() — a full activation cycle, scaled by
+	// the inverse activation rate — the next Step returns ErrStalled: the
+	// simulation is at a fixpoint partial activation cannot leave, and
+	// spinning to the watchdog limit would only burn wall-clock on the
+	// same DNF. Always zero on the FSYNC fast path, where a no-progress
+	// round already implies a permanent fixpoint handled by the watchdog
+	// (and asserted against by the FSYNC liveness proofs).
+	stallStreak int
 	// prevPos and occupancy are per-round scratch for the invariant
 	// checks: flat per-handle tables with O(1) generation clearing
 	// (DESIGN.md §5/§6).
@@ -214,6 +289,9 @@ func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
 	if opts.WatchdogSlack <= 0 {
 		opts.WatchdogSlack = DefaultWatchdogSlack
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	schd, err := sched.New(opts.Sched)
 	if err != nil {
 		return nil, err
@@ -231,6 +309,57 @@ func NewEngine(ch *chain.Chain, opts Options) (*Engine, error) {
 		EndsByReason:    make(map[core.TerminateReason]int),
 	}
 	return e, nil
+}
+
+// StallWindow returns the no-progress budget in force for this engine: the
+// number of consecutive progress-free rounds after which Step returns
+// ErrStalled. math.MaxInt under FSYNC, where the detector is off (a
+// progress-free FSYNC round is already a permanent fixpoint and the FSYNC
+// liveness machinery owns that case).
+func (e *Engine) StallWindow() int { return e.stallWindow() }
+
+// stallWindow sizes the no-progress budget: two full activation cycles. A
+// cycle is max(n, RunPeriod+1) rounds — long enough that every robot has
+// been offered an activation (RoundRobin's window slides once per round,
+// period n) and every run-start period boundary has passed — scaled by the
+// inverse of the scheduler's minimum activation rate for the stochastic
+// models, exactly like the watchdog. For deterministic schedulers the
+// window provably covers a full scheduler-state repetition with nothing
+// moving, i.e. a true livelock; for stochastic ones the tail probability
+// of a live system hopping zero times across the window is negligible,
+// and the verdict stays reproducible because their activation streams are
+// seeded. Saturates like limit().
+func (e *Engine) stallWindow() int {
+	if e.sched == nil || e.sched.FullySync() {
+		return math.MaxInt
+	}
+	cycle := e.res.InitialLen
+	if p := e.opts.Config.RunPeriod + 1; p > cycle {
+		cycle = p
+	}
+	if rate := e.sched.MinActivationRate(e.res.InitialLen); rate > 0 && rate < 1 {
+		if scaled := math.Ceil(float64(cycle) / rate); scaled < math.MaxInt {
+			cycle = int(scaled)
+		} else {
+			return math.MaxInt
+		}
+	}
+	return satMul(2, cycle)
+}
+
+// noteProgress feeds the stall detector after an executed round: progress
+// is any hop, any merge, a chain-length change or a bounding-box change.
+// Non-FSYNC only; the FSYNC fast path never touches the streak.
+func (e *Engine) noteProgress(rep core.RoundReport, lenBefore int, boundsBefore grid.Box) {
+	if e.sched == nil || e.sched.FullySync() {
+		return
+	}
+	if rep.RunnerHops+rep.MergeHops+rep.StartHops > 0 || rep.Merges() > 0 ||
+		e.Chain().Len() != lenBefore || e.Chain().Bounds() != boundsBefore {
+		e.stallStreak = 0
+		return
+	}
+	e.stallStreak++
 }
 
 // Strategy exposes the wrapped strategy (for instrumentation).
@@ -309,15 +438,22 @@ func (e *Engine) Step() (bool, error) {
 		return false, fmt.Errorf("%w: %d rounds, n=%d, still %d robots in %v",
 			ErrWatchdog, e.alg.Round(), e.res.InitialLen, e.Chain().Len(), e.Chain().Bounds())
 	}
+	if window := e.stallWindow(); e.stallStreak >= window {
+		e.res.Termination = core.TermStalled
+		return false, fmt.Errorf("%w: %d progress-free rounds (window %d) at round %d, still %d robots in %v",
+			ErrStalled, e.stallStreak, window, e.alg.Round(), e.Chain().Len(), e.Chain().Bounds())
+	}
 	if e.opts.CheckInvariants {
 		e.snapshotPositions()
 	}
 	lenBefore := e.Chain().Len()
+	boundsBefore := e.Chain().Bounds()
 	rep, err := e.stepAlg(e.activate())
 	if err != nil {
 		return false, err
 	}
 	e.account(rep)
+	e.noteProgress(rep, lenBefore, boundsBefore)
 	e.tracker.observe(rep, lenBefore)
 	if e.opts.CheckInvariants {
 		if err := e.checkInvariants(rep); err != nil {
