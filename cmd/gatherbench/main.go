@@ -29,6 +29,19 @@
 //
 //	gatherbench -bench-out /tmp/b.json -cpuprofile /tmp/cpu.prof
 //	go tool pprof -top /tmp/cpu.prof
+//
+// A third mode runs declarative workload campaigns (internal/workload):
+// -spec expands a YAML workload spec (an embedded preset name or a file
+// path) into its deterministic item stream, runs every item through the
+// engine, and prints a per-family aggregate table plus the campaign
+// digest — the SHA-256 of the canonical item stream, so two machines can
+// compare campaigns by one line. -spec-trace records the campaign as an
+// NDJSON trace; -spec-replay re-runs a recorded trace and verifies every
+// result byte-for-byte.
+//
+//	gatherbench -spec quick                          # embedded preset
+//	gatherbench -spec camp.yaml -spec-trace out.ndjson
+//	gatherbench -spec-replay out.ndjson              # re-verify a trace
 package main
 
 import (
@@ -81,6 +94,10 @@ func gatherbenchMain() int {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run (experiment suite or bench mode) to this file; inspect with `go tool pprof` (see EXPERIMENTS.md)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken at the end of the run to this file")
+
+		specFlag   = flag.String("spec", "", "run a declarative workload campaign instead of the experiment suite: a preset name (internal/workload) or a spec file path; prints the per-family aggregate table and the campaign digest")
+		specTrace  = flag.String("spec-trace", "", "with -spec: also record the campaign as an NDJSON trace to this file (replayable with -spec-replay)")
+		specReplay = flag.String("spec-replay", "", "re-verify a recorded campaign trace: every item re-runs and must match the recorded result byte-for-byte (skips the experiment suite)")
 	)
 	flag.Parse()
 
@@ -112,6 +129,12 @@ func gatherbenchMain() int {
 		}()
 	}
 
+	if *specReplay != "" {
+		return specReplayMain(*specReplay, *workers)
+	}
+	if *specFlag != "" {
+		return specModeMain(*specFlag, *specTrace, *workers, *engWrk, *csv, *out, *quiet)
+	}
 	if *benchOut != "" || *benchAgainst != "" {
 		if err := runBenchMode(*benchOut, *benchAgainst, *benchLabel, *benchNote); err != nil {
 			fmt.Fprintln(os.Stderr, "gatherbench:", err)

@@ -14,6 +14,11 @@
 //	curl -s localhost:8080/jobs -d '{"shape":"spiral","size":200}'
 //	curl -N localhost:8080/jobs/j1/stream
 //
+// Or submit a whole declarative campaign (internal/workload spec):
+//
+//	curl -s localhost:8080/campaign --data-binary @campaign.yaml
+//	curl -s localhost:8080/campaigns/c1
+//
 // SIGINT/SIGTERM drains gracefully: submissions get 503, running engines
 // stop at their next round boundary, and — with -spool — each interrupted
 // run leaves a resumable checkpoint behind. Exits 130 when interrupted,
@@ -53,6 +58,10 @@ Flags:
 
 Endpoints:
   POST /jobs                 submit {scenario|shape,size,seed,config,strategy,sched,maxRounds,workers}
+  POST /campaign             submit a declarative workload spec (YAML, internal/workload);
+                             every expanded item is admitted like a job, deduplicated
+                             by the same content-addressed cache
+  GET  /campaigns/{id}       campaign progress: per-item statuses and rollup
   GET  /jobs/{id}            job status (+result once terminal)
   GET  /jobs/{id}/stream     SSE per-round trace; replays identically after completion
   GET  /results/{key}        result by content address

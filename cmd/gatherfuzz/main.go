@@ -44,6 +44,17 @@
 //	gatherfuzz -strategy lintime        # conformance-slice the contraction strategy
 //	gatherfuzz -only 123456             # re-run one scenario index
 //	gatherfuzz -resume failure.bundle   # replay a recorded failure
+//	gatherfuzz -spec stress             # declarative campaign from the embedded stress preset
+//	gatherfuzz -spec camp.yaml -only 7  # re-run item 7 of a spec campaign
+//
+// -spec replaces the flag-built config space with a declarative workload
+// spec (internal/workload): the YAML file declares the scenario families,
+// size distributions, scheduler and strategy mixes, and the campaign seed;
+// every expanded item runs through the same conformance oracle. The
+// campaign is a pure function of the spec bytes, so -scenarios trims or
+// extends the item count and -only reproduces a single item. Flags that
+// shape the raw config space (-seed, -min-size, -max-size, -sched,
+// -strategy, -workers) conflict with -spec and are rejected.
 //
 // On a divergence the campaign also writes a diagnostic bundle (-bundle,
 // default gatherfuzz-failure.bundle): the exact failing chain plus its
@@ -103,10 +114,14 @@ func gatherfuzzMain() int {
 		quiet     = flag.Bool("quiet", false, "suppress the timing summary on stderr")
 		bundle    = flag.String("bundle", "gatherfuzz-failure.bundle", "write the failing scenario (chain, config, scheduler, strategy, workers) to this diagnostic bundle on a divergence; replay with -resume (empty = off)")
 		resume    = flag.String("resume", "", "replay a diagnostic bundle written by -bundle and report whether the divergence reproduces")
+		spec      = flag.String("spec", "", "run a declarative workload campaign instead of the flag-built space: a preset name ("+presetList()+") or a spec file path; -scenarios overrides the item count, -only reruns one item")
 	)
 	flag.Parse()
 	if *resume != "" {
 		return resumeBundle(*resume)
+	}
+	if *spec != "" {
+		return specMain(*spec, *scenarios, *workers, *only, *progress, *quiet)
 	}
 	if *minSize < 4 || *maxSize < *minSize {
 		fmt.Fprintln(os.Stderr, "gatherfuzz: need 4 <= min-size <= max-size")

@@ -8,6 +8,7 @@
 //	gathersim -shape walk -size 200 -seed 7 -ascii 25
 //	gathersim -shape rectangle -size 256 -sched rr:3
 //	gathersim -in chain.json -json
+//	gathersim -spec quick -item 3
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"gridgather/internal/sched"
 	"gridgather/internal/sim"
 	"gridgather/internal/trace"
+	"gridgather/internal/workload"
 )
 
 // exitInterrupted is the conventional exit status of a SIGINT-terminated
@@ -51,6 +53,13 @@ Workload (what to simulate):
   -in FILE       read the initial chain from a JSON file written by
                  chaingen (or from the "chain seed" line a failing run
                  prints) instead of generating; overrides -shape/-size/-seed
+  -spec S        expand one item of a declarative campaign spec (DESIGN.md
+                 §13) and run it: S is an embedded preset (%s)
+                 or a YAML file; the item carries its own chain, config,
+                 scheduler and strategy, so -shape/-size/-seed and the
+                 algorithm/scheduler/strategy flags are ignored (runtime
+                 knobs -check/-workers/-max-rounds/-max-wall still apply)
+  -item N        the campaign item index -spec runs (default 0)
 
 Algorithm parameters (defaults are the paper's):
   -view V        viewing path length V (default %d, minimum 7)
@@ -104,12 +113,14 @@ Examples:
   gathersim -shape spiral -size 512 -strategy lintime
   gathersim -shape comb -size 300 -view 9 -period 5 -check
   gathersim -in chain.json -json               # re-run a saved chain
+  gathersim -spec quick -item 3                # one item of a spec campaign
   gathersim -shape rectangle -size 2048 -checkpoint run.ckpt   # ^C to pause
   gathersim -resume run.ckpt                   # ... and finish later
 
 On an engine error the exit status is non-zero and stderr carries the
 exact start configuration as a ready-to-use -in seed.
 `, strings.Join(generate.Names(), ", "),
+		strings.Join(workload.PresetNames(), ", "),
 		core.DefaultViewingPathLength, core.DefaultRunPeriod, core.DefaultMaxMergeLen,
 		strings.Join(core.StrategyNames(), ", "),
 		sim.DefaultWatchdogFactor, sim.DefaultWatchdogSlack, exitInterrupted)
@@ -136,6 +147,8 @@ func main() {
 		maxWall   = flag.Duration("max-wall", 0, "wall-clock budget; the run stops at a round boundary on expiry (0 = none)")
 		ckptFile  = flag.String("checkpoint", "", "write a resumable checkpoint to this file on SIGINT/SIGTERM or -max-wall expiry")
 		resume    = flag.String("resume", "", "resume a checkpoint written by -checkpoint instead of generating a chain")
+		specFlag  = flag.String("spec", "", "run one item of a campaign spec (preset name or YAML file) instead of generating a chain")
+		itemFlag  = flag.Int("item", 0, "campaign item index to run with -spec")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -186,42 +199,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gathersim: resuming %s at round %d (%d robots left)\n",
 			*resume, cp.Result.Rounds, eng.Chain().Len())
 	} else {
-		schedCfg, err := sched.Parse(*schedFlag)
-		if err != nil {
-			fatal(err)
-		}
-		strategy, err := core.ParseStrategy(*stratFlag)
-		if err != nil {
-			fatal(err)
-		}
-		ch, err := loadChain(*inFile, *shape, *size, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		if *inFile == "" {
-			repro = fmt.Sprintf("gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s -strategy %s (flags as above), or via -in with the seed below\n",
-				*shape, *size, *seed, schedCfg, strategy)
-		}
+		var (
+			ch   *chain.Chain
+			opts sim.Options
+		)
+		if *specFlag != "" {
+			// Spec mode: the campaign item carries the whole semantic cell
+			// (chain, config, scheduler, strategy, round budget); only the
+			// runtime knobs come from flags.
+			sp, err := workload.Load(*specFlag)
+			if err != nil {
+				fatal(err)
+			}
+			it, err := sp.ExpandItem(*itemFlag)
+			if err != nil {
+				fatal(err)
+			}
+			if ch, err = it.Chain(); err != nil {
+				fatal(err)
+			}
+			opts = it.Options()
+			opts.CheckInvariants = *check
+			opts.Workers = *workers
+			opts.MaxWallTime = *maxWall
+			if *maxRounds > 0 {
+				opts.MaxRounds = *maxRounds
+			}
+			fmt.Fprintf(os.Stderr, "gathersim: spec %s item %d: %s n=%d sched=%s strategy=%s\n",
+				*specFlag, it.Index, it.Family, it.N, it.Sched, it.Strategy)
+			repro = fmt.Sprintf("gathersim: reproduce with: gathersim -spec %s -item %d, or via -in with the seed below\n",
+				*specFlag, it.Index)
+		} else {
+			schedCfg, err := sched.Parse(*schedFlag)
+			if err != nil {
+				fatal(err)
+			}
+			strategy, err := core.ParseStrategy(*stratFlag)
+			if err != nil {
+				fatal(err)
+			}
+			if ch, err = loadChain(*inFile, *shape, *size, *seed); err != nil {
+				fatal(err)
+			}
+			if *inFile == "" {
+				repro = fmt.Sprintf("gathersim: reproduce with: gathersim -shape %s -size %d -seed %d -sched %s -strategy %s (flags as above), or via -in with the seed below\n",
+					*shape, *size, *seed, schedCfg, strategy)
+			}
 
-		opts := sim.Options{
-			Config: core.Config{
-				ViewingPathLength: *viewLen,
-				RunPeriod:         *period,
-				MaxMergeLen:       *mergeLen,
-				DisableRunStarts:  *noRuns,
-				SequentialRuns:    *seqRuns,
-			},
-			CheckInvariants: *check,
-			MaxRounds:       *maxRounds,
-			Sched:           schedCfg,
-			Strategy:        strategy,
-			Workers:         *workers,
-			MaxWallTime:     *maxWall,
-			// gathersim is the experimentation CLI: -mergelen exists to
-			// explore the E11 livelock boundary, so the doomed-config
-			// rejection (sim.ErrLivelockConfig) is opted out of here. The
-			// serving layer (gatherd) keeps the rejection on.
-			AllowLivelockConfig: true,
+			opts = sim.Options{
+				Config: core.Config{
+					ViewingPathLength: *viewLen,
+					RunPeriod:         *period,
+					MaxMergeLen:       *mergeLen,
+					DisableRunStarts:  *noRuns,
+					SequentialRuns:    *seqRuns,
+				},
+				CheckInvariants: *check,
+				MaxRounds:       *maxRounds,
+				Sched:           schedCfg,
+				Strategy:        strategy,
+				Workers:         *workers,
+				MaxWallTime:     *maxWall,
+				// gathersim is the experimentation CLI: -mergelen exists to
+				// explore the E11 livelock boundary, so the doomed-config
+				// rejection (sim.ErrLivelockConfig) is opted out of here. The
+				// serving layer (gatherd) keeps the rejection on.
+				AllowLivelockConfig: true,
+			}
 		}
 		if rec != nil {
 			opts.Observer = rec
@@ -230,6 +274,7 @@ func main() {
 
 		// Serialise the start configuration before the engine consumes the
 		// chain: on a watchdog or invariant failure this is the repro seed.
+		var err error
 		if seedJSON, err = json.Marshal(ch); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"sync"
+
+	"gridgather/internal/workload"
+)
+
+// The experiment axes live in the embedded workload presets since the
+// spec migration (DESIGN.md §13): e-sched's scheds order is the E-sched
+// scheduler sweep, e-strat's strategies order is the E-strat sweep, and
+// each preset's family order is its experiment's shape axis. The presets
+// are compiled in and parsed once; TestPresetAxesEquivalence pins the
+// derived axes (and the rendered tables) against the pre-migration
+// hard-coded grids.
+var (
+	eschedPreset = sync.OnceValue(func() workload.Spec { return workload.MustPreset("e-sched") })
+	estratPreset = sync.OnceValue(func() workload.Spec { return workload.MustPreset("e-strat") })
+)
+
+// presetShapes reads a preset's family order as an experiment shape axis.
+func presetShapes(s workload.Spec) []string {
+	out := make([]string, len(s.Families))
+	for i, f := range s.Families {
+		out[i] = f.Shape
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gridgather/internal/core"
+	"gridgather/internal/sched"
+)
+
+// TestPresetAxesEquivalence pins the preset-derived experiment axes
+// against the pre-migration hard-coded grids, literal by literal. If the
+// e-sched/e-strat spec files drift (reordered mixes, a changed parameter)
+// this fails before any simulation runs.
+func TestPresetAxesEquivalence(t *testing.T) {
+	wantSweep := []sched.Config{
+		{Kind: sched.FSYNC},
+		{Kind: sched.RoundRobin, K: 2},
+		{Kind: sched.RoundRobin, K: 3},
+		{Kind: sched.RoundRobin, K: 5},
+		{Kind: sched.BoundedAdversary, K: 3, P: 0.5},
+		{Kind: sched.Random, P: 0.9},
+		{Kind: sched.Random, P: 0.5},
+	}
+	if got := schedSweep(); !reflect.DeepEqual(got, wantSweep) {
+		t.Errorf("schedSweep from the e-sched preset = %v\nwant the pre-migration literals %v", got, wantSweep)
+	}
+	wantShapes := []string{"rectangle", "spiral", "walk"}
+	if got := schedShapes(); !reflect.DeepEqual(got, wantShapes) {
+		t.Errorf("schedShapes = %v, want %v", got, wantShapes)
+	}
+	if got := stratShapes(); !reflect.DeepEqual(got, wantShapes) {
+		t.Errorf("stratShapes = %v, want %v", got, wantShapes)
+	}
+	wantStrats := []core.StrategyName{core.StrategyPaper, core.StrategyLinTime}
+	if got := stratSweep(); !reflect.DeepEqual(got, wantStrats) {
+		t.Errorf("stratSweep from the e-strat preset = %v, want %v", got, wantStrats)
+	}
+}
+
+// TestPresetTablesEquivalence regenerates the E-sched and E-strat tables
+// through the preset-derived axes and compares them byte-for-byte against
+// the rendering recorded immediately before the hard-coded-grid → spec
+// migration (testdata/esched_estrat_quick.golden, Params{Seed: 1, Quick:
+// true}). Any silent drift in the migration — axis order, seeding, cell
+// layout — shows up as a table diff.
+func TestPresetTablesEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick grids (~0.5s)")
+	}
+	p := Params{Seed: 1, Quick: true, Parallel: 4}
+	es, err := ESched(p)
+	if err != nil {
+		t.Fatalf("ESched: %v", err)
+	}
+	st, err := EStrat(p)
+	if err != nil {
+		t.Fatalf("EStrat: %v", err)
+	}
+	got := Render([]Outcome{es, st}, false)
+	want, err := os.ReadFile(filepath.Join("testdata", "esched_estrat_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("preset-driven tables differ from the pre-migration recording:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

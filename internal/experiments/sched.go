@@ -12,29 +12,29 @@ import (
 	"gridgather/internal/sim"
 )
 
-// schedSweep is the scheduler axis of the E-sched tables: FSYNC as the
-// baseline, deterministic round robin at increasing relaxation, the
-// bounded adversary, and Bernoulli activation at two rates. RoundRobin
-// K=5 is deliberately past the livelock boundary (the sliding window
-// ceil(n/K) drops below the straight merge patterns the square-ring
-// endgame needs), so the success-rate column shows the strategy's
-// robustness limit instead of hiding it.
+// schedSweep is the scheduler axis of the E-sched tables, read from the
+// embedded e-sched workload preset (the spec file is the single source of
+// the axis; TestPresetAxesEquivalence pins it against the pre-migration
+// literals): FSYNC as the baseline, deterministic round robin at
+// increasing relaxation, the bounded adversary, and Bernoulli activation
+// at two rates. RoundRobin K=5 is deliberately past the livelock boundary
+// (the sliding window ceil(n/K) drops below the straight merge patterns
+// the square-ring endgame needs), so the success-rate column shows the
+// strategy's robustness limit instead of hiding it.
 func schedSweep() []sched.Config {
-	return []sched.Config{
-		{Kind: sched.FSYNC},
-		{Kind: sched.RoundRobin, K: 2},
-		{Kind: sched.RoundRobin, K: 3},
-		{Kind: sched.RoundRobin, K: 5},
-		{Kind: sched.BoundedAdversary, K: 3, P: 0.5},
-		{Kind: sched.Random, P: 0.9},
-		{Kind: sched.Random, P: 0.5},
+	p := eschedPreset()
+	out := make([]sched.Config, len(p.Scheds))
+	for i, c := range p.Scheds {
+		out[i] = c.Sched
 	}
+	return out
 }
 
-// schedShapes are the workloads of the scheduler sweep: the run-driven
-// square (hits the endgame-ring boundary), the spiral worst case, and a
-// tangled random walk (merge-driven).
-var schedShapes = []string{"rectangle", "spiral", "walk"}
+// schedShapes are the workloads of the scheduler sweep, in the e-sched
+// preset's family order: the run-driven square (hits the endgame-ring
+// boundary), the spiral worst case, and a tangled random walk
+// (merge-driven).
+func schedShapes() []string { return presetShapes(eschedPreset()) }
 
 // schedSample is one simulation under one scheduler: DNFs (the scaled
 // watchdog expiring) are first-class results here, not errors — measuring
@@ -77,11 +77,12 @@ func ESched(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E-sched", Title: "Activation schedulers — round inflation and success rate vs FSYNC"}
 	sweep := schedSweep()
+	shapes := schedShapes()
 
 	// Grid 1: shapes x schedulers.
 	var tasks []parallel.Task[schedSample]
-	for ci := 0; ci < len(schedShapes)*len(sweep); ci++ {
-		shape := schedShapes[ci/len(sweep)]
+	for ci := 0; ci < len(shapes)*len(sweep); ci++ {
+		shape := shapes[ci/len(sweep)]
 		sc := sweep[ci%len(sweep)]
 		for trial := 0; trial < p.Trials; trial++ {
 			tasks = append(tasks, seeded(p, 14, ci, trial, func(rng *rand.Rand) (schedSample, error) {
@@ -103,7 +104,7 @@ func ESched(p Params) (Outcome, error) {
 	}
 
 	inflation := analysis.NewTable("shape", "scheduler", "n", "success", "rounds", "rounds/n", "inflation vs fsync")
-	for si, shape := range schedShapes {
+	for si, shape := range shapes {
 		var fsyncMean float64
 		for ki, sc := range sweep {
 			ci := si*len(sweep) + ki

@@ -10,15 +10,24 @@ import (
 	"gridgather/internal/sim"
 )
 
-// stratSweep is the strategy axis of the E-strat tables, in registry order.
+// stratSweep is the strategy axis of the E-strat tables, read from the
+// embedded e-strat workload preset in registry order (the spec file is
+// the single source of the axis; TestPresetAxesEquivalence pins it
+// against the pre-migration literals).
 func stratSweep() []core.StrategyName {
-	return []core.StrategyName{core.StrategyPaper, core.StrategyLinTime}
+	p := estratPreset()
+	out := make([]core.StrategyName, len(p.Strategies))
+	for i, c := range p.Strategies {
+		out[i] = c.Strategy
+	}
+	return out
 }
 
-// stratShapes are the workloads of the head-to-head: the run-driven square,
-// the spiral worst case (maximum n per diameter), and a tangled random walk
-// (merge-driven, irregular bounding box).
-var stratShapes = []string{"rectangle", "spiral", "walk"}
+// stratShapes are the workloads of the head-to-head, in the e-strat
+// preset's family order: the run-driven square, the spiral worst case
+// (maximum n per diameter), and a tangled random walk (merge-driven,
+// irregular bounding box).
+func stratShapes() []string { return presetShapes(estratPreset()) }
 
 // stratSample is one simulation under one strategy. Both registered
 // strategies gather every workload under FSYNC, so unlike the scheduler
@@ -54,12 +63,13 @@ func EStrat(p Params) (Outcome, error) {
 	p = p.normalized()
 	o := Outcome{ID: "E-strat", Title: "Strategy arena — paper vs lintime round counts"}
 	sweep := stratSweep()
+	shapes := stratShapes()
 
 	// Grid 1: shapes x strategies at the middle size.
 	size := p.Sizes[len(p.Sizes)/2]
 	var tasks []parallel.Task[stratSample]
-	for ci := 0; ci < len(stratShapes)*len(sweep); ci++ {
-		shape := stratShapes[ci/len(sweep)]
+	for ci := 0; ci < len(shapes)*len(sweep); ci++ {
+		shape := shapes[ci/len(sweep)]
 		strat := sweep[ci%len(sweep)]
 		for trial := 0; trial < p.Trials; trial++ {
 			// Seed by shape only (ci/len(sweep)): both strategies run the
@@ -76,7 +86,7 @@ func EStrat(p Params) (Outcome, error) {
 	o.Tasks += len(tasks)
 
 	head := analysis.NewTable("shape", "strategy", "n", "rounds", "rounds/n", "speedup vs paper")
-	for si, shape := range stratShapes {
+	for si, shape := range shapes {
 		var paperMean float64
 		for ki, strat := range sweep {
 			ci := si*len(sweep) + ki

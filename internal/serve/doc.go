@@ -15,6 +15,16 @@
 // Config.Workers even though the Workers byte-identity battery proves it
 // semantically inert.
 //
+// POST /campaign lifts admission from one job to a whole declarative
+// workload spec (internal/workload): the YAML body expands
+// deterministically into its item stream, every item is admitted through
+// the same content-addressed cache — terminal entries answer without
+// touching the queue, identical items within one campaign share a single
+// engine run — and a background feeder drips items larger than the queue
+// depth into the pool as workers free slots. Re-POSTing a finished
+// campaign's spec bytes answers entirely from the cache, with the
+// engine-round counter provably frozen.
+//
 // Admission control is deliberately boring: a full queue answers 429, a
 // draining server answers 503, and a job whose options fail
 // sim.Options.Validate — including the typed E11 livelock rejection

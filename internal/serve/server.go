@@ -116,12 +116,19 @@ type Server struct {
 	queue       chan *entry
 	workersDone chan struct{}
 
-	mu       sync.Mutex
-	entries  map[string]*entry // cache key -> entry (evicted on non-cacheable end)
-	jobs     map[string]*entry // job id -> entry (never evicted; ids stay resolvable)
-	seq      int
-	draining bool
-	stats    Stats
+	// feeders counts live campaign feeder goroutines (blocking queue
+	// senders); Shutdown waits for them before closing the queue, so a
+	// feeder can never send on a closed channel.
+	feeders sync.WaitGroup
+
+	mu        sync.Mutex
+	entries   map[string]*entry // cache key -> entry (evicted on non-cacheable end)
+	jobs      map[string]*entry // job id -> entry (never evicted; ids stay resolvable)
+	campaigns map[string]*campaign
+	seq       int
+	campSeq   int
+	draining  bool
+	stats     Stats
 
 	// testHold, when non-nil, gates every worker between dequeuing a job
 	// and running it: runJob publishes StatusRunning, then blocks until
@@ -149,11 +156,14 @@ func New(cfg Config) *Server {
 		workersDone: make(chan struct{}),
 		entries:     make(map[string]*entry),
 		jobs:        make(map[string]*entry),
+		campaigns:   make(map[string]*campaign),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /campaign", s.handleCampaign)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignGet)
 	s.mux.HandleFunc("GET /results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /results/{key}/replay", s.handleReplay)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -175,20 +185,25 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Shutdown drains the server: submissions start answering 503, the queue
-// closes so idle workers exit, and running engines are cancelled at their
-// next round boundary through the RunContext path — each spools a resume
-// checkpoint when SpoolDir is set. It returns once every worker has
-// finished, or with ctx's error if the caller's patience runs out first.
+// Shutdown drains the server: submissions start answering 503, running
+// engines are cancelled at their next round boundary through the
+// RunContext path — each spools a resume checkpoint when SpoolDir is set —
+// and the queue closes so idle workers exit. The close waits for campaign
+// feeders first (they hold blocking sends on the queue; the cancelled
+// context unblocks them and their unfed items seal as cancelled), so the
+// queue is provably send-free when it closes. It returns once every
+// worker has finished, or with ctx's error if the caller's patience runs
+// out first.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
-	if !already {
-		close(s.queue)
-	}
 	s.mu.Unlock()
 	s.cancel()
+	if !already {
+		s.feeders.Wait()
+		close(s.queue)
+	}
 	select {
 	case <-s.workersDone:
 		return nil

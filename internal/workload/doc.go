@@ -1,0 +1,22 @@
+// Package workload turns declarative YAML campaign specs into
+// reproducible streams of simulation items — the one scenario source
+// shared by gathersim, gatherfuzz, gatherbench and the gatherd /campaign
+// endpoint (DESIGN.md §13).
+//
+// A Spec names weighted scenario families (the generate registry plus the
+// fuzzer's byte-soup decoder), size distributions (fixed, uniform,
+// log-uniform), scheduler and strategy mixes, an optional config
+// override, a master seed and an item count. ParseSpec decodes the strict
+// YAML subset (unknown fields are errors; every rejection wraps
+// ErrBadSpec), Preset loads the embedded named campaigns (quick, stress,
+// e-sched, e-strat), and Spec.Expand derives the campaign: item i is a
+// pure function of (spec, i) through parallel.TaskSeed, so the same spec
+// bytes expand to a byte-identical stream at any worker count — pinned by
+// the golden digests in testdata.
+//
+// Execute runs a campaign through the engine (watchdog and stall expiries
+// are deterministic first-class DNF verdicts, not errors), WriteTrace and
+// ReadTrace persist it as NDJSON records, and Replay re-runs a recorded
+// trace and verifies every result byte-for-byte — the record/replay loop
+// of the ServeGen workload-generator design this package follows.
+package workload

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecDecode throws hostile YAML at the codec. The contract under
+// fuzzing: never panic, reject with an error or accept; and any accepted
+// spec must round-trip through its canonical encoding to an equal Spec
+// (the law that makes Encode a faithful serialisation and keeps the
+// strict decoder and the encoder in lockstep).
+func FuzzSpecDecode(f *testing.F) {
+	for _, name := range PresetNames() {
+		data, err := presetFS.ReadFile("presets/" + name + ".yaml")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(minimalSpec))
+	f.Add([]byte("seed: 1\nitems: 2\nfamilies:\n  - shape: bytes\n    size: uniform:8:64\nscheds:\n  - random:p=0.9\n"))
+	f.Add([]byte("a:\n  - b\n  - c: 1\nd: 'e: f' # comment\n"))
+	f.Add([]byte("families:\n\t- shape: walk\n"))
+	f.Add([]byte(":\n:::\n- -\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		enc := s.Encode()
+		again, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("accepted spec failed to re-parse its own encoding: %v\ninput:\n%s\nencoded:\n%s", err, data, enc)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("encode/decode round trip diverged\ninput:\n%s\nfirst:  %+v\nsecond: %+v", data, s, again)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// presetFS embeds the named campaign specs shipped with the binary. Each
+// file is a complete, valid spec; TestPresets parses every one.
+//
+//go:embed presets/*.yaml
+var presetFS embed.FS
+
+// PresetNames lists the embedded campaign specs in sorted order.
+func PresetNames() []string {
+	entries, err := presetFS.ReadDir("presets")
+	if err != nil {
+		// The embed is part of the build; an unreadable directory is a
+		// build corruption, not a runtime condition.
+		panic(fmt.Sprintf("workload: reading embedded presets: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".yaml"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset parses the named embedded campaign spec.
+func Preset(name string) (Spec, error) {
+	data, err := presetFS.ReadFile("presets/" + name + ".yaml")
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w: unknown preset %q (have: %s)",
+			ErrBadSpec, name, strings.Join(PresetNames(), ", "))
+	}
+	s, perr := ParseSpec(data)
+	if perr != nil {
+		return Spec{}, fmt.Errorf("workload: embedded preset %q: %w", name, perr)
+	}
+	return s, nil
+}
+
+// MustPreset is Preset for the embedded axes consumers (the experiments
+// package derives its sweep axes from e-sched/e-strat): the presets are
+// compiled in and covered by tests, so a failure is a build defect.
+func MustPreset(name string) Spec {
+	s, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Load resolves a CLI -spec argument: a preset name when one matches,
+// otherwise a path to a spec file. Every CLI shares this rule, so
+// "-spec quick" and "-spec campaigns/night.yaml" both just work.
+func Load(arg string) (Spec, error) {
+	for _, name := range PresetNames() {
+		if arg == name {
+			return Preset(arg)
+		}
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: -spec %q is neither a preset (%s) nor a readable file: %w",
+			arg, strings.Join(PresetNames(), ", "), err)
+	}
+	return ParseSpec(data)
+}

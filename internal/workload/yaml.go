@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the syntax layer of the spec codec: a strict parser for the
+// small YAML subset campaign specs are written in. The subset is mappings
+// of scalars, nested mappings, and sequences of scalars or mappings,
+// nested by indentation:
+//
+//	key: value
+//	nested:
+//	  inner: value
+//	list:
+//	  - scalar
+//	  - key: value
+//	    other: value
+//
+// Comments start at an unquoted '#' (at the start of a line or after a
+// space) and run to the end of the line. Scalars may be wrapped in single
+// or double quotes; quoting is only required when a value would otherwise
+// read as a comment or key. Everything outside the subset — tabs in
+// indentation, flow syntax ({...}, [...]), anchors, multi-line scalars,
+// duplicate keys, sequence items at the parent key's own indent — is
+// rejected with an error wrapping ErrBadSpec that names the line. The
+// semantic layer (decode.go) walks the resulting node tree with the same
+// strictness: unknown fields are errors, never silently dropped.
+
+// node is one parsed YAML value: exactly one of scalar, mapping or
+// sequence. line is the 1-based source line the node starts on, kept for
+// error messages.
+type node struct {
+	line     int
+	isScalar bool
+	scalar   string
+	keys     []string // mapping order, for deterministic walks
+	mapping  map[string]*node
+	seq      []*node
+	isSeq    bool
+}
+
+func (n *node) isMapping() bool { return !n.isScalar && !n.isSeq }
+
+// srcLine is one significant source line after comment stripping.
+type srcLine struct {
+	no     int
+	indent int
+	text   string
+}
+
+// yamlErr builds a decode error bound to a source line.
+func yamlErr(line int, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrBadSpec, line, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes an unquoted trailing comment. A '#' starts a
+// comment at the beginning of the content or after a space, outside
+// single or double quotes.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitSource cuts the input into significant lines: comments stripped,
+// blank lines dropped, indentation measured. Tabs in indentation are
+// rejected (the classic YAML footgun), as are inputs beyond MaxSpecBytes.
+func splitSource(data []byte) ([]srcLine, error) {
+	if len(data) > MaxSpecBytes {
+		return nil, fmt.Errorf("%w: spec is %d bytes (limit %d)", ErrBadSpec, len(data), MaxSpecBytes)
+	}
+	var out []srcLine
+	for no, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, yamlErr(no+1, "tab in indentation (use spaces)")
+		}
+		text := strings.TrimRight(stripComment(line[indent:]), " \t")
+		if text == "" {
+			continue
+		}
+		out = append(out, srcLine{no: no + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// parser is a cursor over the significant lines.
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+// parseYAML parses a whole document into its root mapping.
+func parseYAML(data []byte) (*node, error) {
+	lines, err := splitSource(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: empty spec", ErrBadSpec)
+	}
+	p := &parser{lines: lines}
+	if lines[0].indent != 0 {
+		return nil, yamlErr(lines[0].no, "document must start at column 0")
+	}
+	root, err := p.parseNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, yamlErr(p.lines[p.pos].no, "unexpected de-indent to column %d", p.lines[p.pos].indent)
+	}
+	if !root.isMapping() {
+		return nil, yamlErr(lines[0].no, "document root must be a mapping")
+	}
+	return root, nil
+}
+
+// parseNode parses the block starting at the cursor, whose lines sit at
+// exactly the given indent.
+func (p *parser) parseNode(indent int) (*node, error) {
+	if isSeqItem(p.lines[p.pos].text) {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+// isSeqItem reports whether a line introduces a sequence item.
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ") || strings.HasPrefix(text, "-\t")
+}
+
+// splitKey cuts "key: value" / "key:" into key and rest. The separator is
+// the first colon followed by a space or the end of the line, so scalar
+// values containing colons ("rr:3", "fixed:256") stay whole.
+func splitKey(text string) (key, rest string, ok bool) {
+	for i := 0; i < len(text); i++ {
+		if text[i] != ':' {
+			continue
+		}
+		if i+1 == len(text) {
+			return strings.TrimSpace(text[:i]), "", true
+		}
+		if text[i+1] == ' ' {
+			return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// isKeyLine reports whether a sequence item's inline content starts a
+// mapping ("shape: rectangle") rather than a scalar ("rr:3").
+func isKeyLine(text string) bool {
+	key, _, ok := splitKey(text)
+	return ok && key != "" && !strings.ContainsAny(key, " '\"")
+}
+
+// unquote strips one level of matching single or double quotes.
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// parseMapping parses consecutive "key: ..." lines at one indent.
+func (p *parser) parseMapping(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].no, mapping: map[string]*node{}}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent < indent {
+				break
+			}
+			return nil, yamlErr(ln.no, "unexpected indentation (column %d, mapping at %d)", ln.indent, indent)
+		}
+		if isSeqItem(ln.text) {
+			return nil, yamlErr(ln.no, "sequence item in a mapping block")
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok || key == "" {
+			return nil, yamlErr(ln.no, "expected \"key: value\", got %q", ln.text)
+		}
+		if strings.ContainsAny(key, "'\"{}[]") {
+			return nil, yamlErr(ln.no, "unsupported key syntax %q", key)
+		}
+		if _, dup := n.mapping[key]; dup {
+			return nil, yamlErr(ln.no, "duplicate key %q", key)
+		}
+		p.pos++
+		var child *node
+		if rest != "" {
+			child = &node{line: ln.no, isScalar: true, scalar: unquote(rest)}
+		} else {
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, yamlErr(ln.no, "key %q has no value", key)
+			}
+			var err error
+			if child, err = p.parseNode(p.lines[p.pos].indent); err != nil {
+				return nil, err
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.mapping[key] = child
+	}
+	return n, nil
+}
+
+// parseSequence parses consecutive "- ..." lines at one indent. An item
+// whose inline content is a key line opens a mapping whose further keys
+// sit two columns past the dash (the standard layout); any other inline
+// content is a scalar; a bare dash opens a nested block.
+func (p *parser) parseSequence(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].no, isSeq: true}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !isSeqItem(ln.text) {
+			if ln.indent >= indent && !isSeqItem(ln.text) && ln.indent == indent {
+				return nil, yamlErr(ln.no, "mapping key in a sequence block")
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		var child *node
+		var err error
+		switch {
+		case rest == "":
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, yamlErr(ln.no, "empty sequence item")
+			}
+			if child, err = p.parseNode(p.lines[p.pos].indent); err != nil {
+				return nil, err
+			}
+		case isKeyLine(rest):
+			// Re-inject the inline pair as the first line of a mapping
+			// block two columns deeper, where the item's remaining keys
+			// live.
+			p.lines[p.pos] = srcLine{no: ln.no, indent: indent + 2, text: rest}
+			if child, err = p.parseMapping(indent + 2); err != nil {
+				return nil, err
+			}
+		default:
+			p.pos++
+			child = &node{line: ln.no, isScalar: true, scalar: unquote(rest)}
+		}
+		n.seq = append(n.seq, child)
+	}
+	return n, nil
+}
